@@ -1,0 +1,31 @@
+//! # hyperion-apps — the paper's CPU-free workloads
+//!
+//! The three application classes of §2.4, runnable against the DPU and
+//! the CPU-centric baseline:
+//!
+//! * [`fail2ban`] — persistent packet logging: a verified eBPF classifier
+//!   in a slot, failure counting in maps, ban events appended durably to
+//!   the Corfu log;
+//! * [`loadbalancer`] — stateful L4 load balancing with flow-state spill
+//!   from fabric DRAM to the DPU's own NVMe (the Tiara problem without an
+//!   x86 escape hatch);
+//! * [`pointer_chase`] — client-driven vs. on-DPU B+ tree traversal over
+//!   the network (one RTT per node vs. one RTT total);
+//! * [`analytics`] — Parquet-on-FS scans: annotation-driven direct access
+//!   with pushdown vs. the host software stack (§2.3);
+//! * [`trafficgen`] — deterministic flow/attack traffic generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod fail2ban;
+pub mod loadbalancer;
+pub mod pointer_chase;
+pub mod trafficgen;
+
+pub use analytics::{build_dataset, dpu_scan, host_scan, Dataset, ScanRun};
+pub use fail2ban::{Fail2BanReport, FAIL2BAN_EBPF, MAX_RETRY};
+pub use loadbalancer::{BackendId, LoadBalancer};
+pub use pointer_chase::{client_driven_lookup, offloaded_lookup, populate_tree, ChaseResult};
+pub use trafficgen::TrafficGen;

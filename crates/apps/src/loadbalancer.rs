@@ -1,0 +1,318 @@
+//! A stateful L4 load balancer with flow-state spill to flash.
+//!
+//! Paper §2.4: "load-balancers ... require large temporary data storage
+//! (e.g., Tiara offloads load-balancing state from FPGAs to x86 servers)".
+//! Tiara spilled to x86 servers because its FPGA had no storage; Hyperion
+//! keeps the hot flow table in fabric-attached DRAM and spills the cold
+//! tail to its *own* NVMe — no external server. Experiment E7 measures
+//! throughput as the flow count exceeds DRAM capacity.
+//!
+//! Consistent hashing assigns new flows to backends; established flows
+//! must keep their backend (connection affinity), which is why the state
+//! must be kept somewhere at all.
+
+use std::collections::HashMap;
+
+use hyperion_nvme::device::{Command, NvmeDevice, Response};
+use hyperion_nvme::params::LBA_SIZE;
+use hyperion_sim::stats::Counters;
+use hyperion_sim::time::Ns;
+
+/// Fabric DRAM lookup cost for the hot table.
+const DRAM_LOOKUP: Ns = Ns(200);
+
+/// In-fabric hash/steering work per packet.
+const PIPELINE_WORK: Ns = Ns(40);
+
+/// A backend server id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendId(pub u32);
+
+/// Spill records per flash page (16-byte records into a 4 KiB page).
+pub const SPILL_BATCH: usize = 256;
+
+/// Where a flow's state lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residence {
+    Dram,
+    /// Evicted but still in the spill write buffer (not yet on flash).
+    Staged,
+    Flash { lba: u64 },
+}
+
+/// The load balancer.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    backends: u32,
+    dram_capacity: usize,
+    /// flow hash -> (backend, residence).
+    table: HashMap<u64, (BackendId, Residence)>,
+    /// LRU order for spill decisions (front = coldest).
+    lru: std::collections::VecDeque<u64>,
+    spill: NvmeDevice,
+    spill_cursor: u64,
+    /// Flows evicted into the current (unflushed) spill page.
+    staging: Vec<u64>,
+    /// Records per flushed spill page.
+    spill_batch: usize,
+    /// `hits_dram`, `hits_flash`, `hits_staged`, `spills`, `promotions`,
+    /// `new_flows`, `spill_pages`.
+    pub counters: Counters,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer over `backends` servers with room for
+    /// `dram_capacity` flows in fabric DRAM and a spill SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is zero.
+    pub fn new(backends: u32, dram_capacity: usize, spill_lbas: u64) -> LoadBalancer {
+        Self::with_spill_batch(backends, dram_capacity, spill_lbas, SPILL_BATCH)
+    }
+
+    /// [`LoadBalancer::new`] with an explicit spill-batch size — the
+    /// ablation knob for write-buffer batching (1 = one flash page per
+    /// eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` or `spill_batch` is zero.
+    pub fn with_spill_batch(
+        backends: u32,
+        dram_capacity: usize,
+        spill_lbas: u64,
+        spill_batch: usize,
+    ) -> LoadBalancer {
+        assert!(backends > 0, "need at least one backend");
+        assert!(spill_batch > 0, "spill batch must be non-zero");
+        LoadBalancer {
+            backends,
+            dram_capacity,
+            table: HashMap::new(),
+            lru: std::collections::VecDeque::new(),
+            spill: NvmeDevice::new_block(spill_lbas),
+            spill_cursor: 0,
+            staging: Vec::with_capacity(spill_batch),
+            spill_batch,
+            counters: Counters::new(),
+        }
+    }
+
+    fn choose_backend(&self, flow: u64) -> BackendId {
+        // Rendezvous (highest-random-weight) hashing: stable under backend
+        // set changes.
+        let mut best = (0u64, 0u32);
+        for b in 0..self.backends {
+            let w = flow
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(b % 63)
+                .wrapping_add(b as u64);
+            let w = w.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            if w >= best.0 {
+                best = (w, b);
+            }
+        }
+        BackendId(best.1)
+    }
+
+    /// Number of flows resident in DRAM.
+    pub fn dram_flows(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Total tracked flows.
+    pub fn total_flows(&self) -> usize {
+        self.table.len()
+    }
+
+    fn touch_lru(&mut self, flow: u64) {
+        if let Some(pos) = self.lru.iter().position(|&f| f == flow) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(flow);
+    }
+
+    /// Spills the coldest DRAM entry. Records accumulate in a write
+    /// buffer and flush as one flash page per [`SPILL_BATCH`] evictions,
+    /// asynchronously — Tiara-style state offload happens off the packet
+    /// path, so the triggering packet never stalls on tProg.
+    fn spill_coldest(&mut self, now: Ns) -> Ns {
+        let Some(victim) = self.lru.pop_front() else {
+            return now;
+        };
+        self.counters.bump("spills");
+        let entry = self.table.get_mut(&victim).expect("victim is tracked");
+        entry.1 = Residence::Staged;
+        self.staging.push(victim);
+        if self.staging.len() >= self.spill_batch.min(SPILL_BATCH) {
+            self.flush_staging(now);
+        }
+        now
+    }
+
+    /// Writes the staging buffer as one page and marks its flows
+    /// flash-resident.
+    fn flush_staging(&mut self, now: Ns) {
+        if self.staging.is_empty() {
+            return;
+        }
+        self.counters.bump("spill_pages");
+        let lba = self.spill_cursor % self.spill.capacity_lbas();
+        self.spill_cursor += 1;
+        let mut image = vec![0u8; LBA_SIZE as usize];
+        for (i, flow) in self.staging.iter().enumerate() {
+            let backend = self.table[flow].0;
+            let o = i * 16;
+            image[o..o + 8].copy_from_slice(&flow.to_le_bytes());
+            image[o + 8..o + 12].copy_from_slice(&backend.0.to_le_bytes());
+        }
+        self.spill
+            .submit(
+                Command::Write {
+                    lba,
+                    data: bytes::Bytes::from(image),
+                },
+                now,
+            )
+            .expect("spill write");
+        for flow in self.staging.drain(..) {
+            if let Some(entry) = self.table.get_mut(&flow) {
+                if entry.1 == Residence::Staged {
+                    entry.1 = Residence::Flash { lba };
+                }
+            }
+        }
+    }
+
+    /// Steers one packet of `flow` at `now`: returns the backend and the
+    /// completion instant. New flows are assigned and installed; flows
+    /// whose state spilled to flash pay a flash read to re-promote.
+    pub fn steer(&mut self, flow: u64, now: Ns) -> (BackendId, Ns) {
+        let t = now + PIPELINE_WORK;
+        match self.table.get(&flow).copied() {
+            Some((backend, Residence::Dram)) => {
+                self.counters.bump("hits_dram");
+                self.touch_lru(flow);
+                (backend, t + DRAM_LOOKUP)
+            }
+            Some((backend, Residence::Staged)) => {
+                // Still in the write buffer: promote back at DRAM speed.
+                self.counters.bump("hits_staged");
+                if let Some(pos) = self.staging.iter().position(|&f| f == flow) {
+                    self.staging.remove(pos);
+                }
+                let mut t = t + DRAM_LOOKUP;
+                if self.lru.len() >= self.dram_capacity {
+                    t = self.spill_coldest(t);
+                }
+                self.table.insert(flow, (backend, Residence::Dram));
+                self.lru.push_back(flow);
+                (backend, t)
+            }
+            Some((backend, Residence::Flash { lba })) => {
+                // Cold flow: read the record back, promote to DRAM.
+                self.counters.bump("hits_flash");
+                self.counters.bump("promotions");
+                let c = self
+                    .spill
+                    .submit(Command::Read { lba, blocks: 1 }, t)
+                    .expect("spill read");
+                debug_assert!(matches!(c.response, Response::Data(_)));
+                let mut t = c.done;
+                if self.lru.len() >= self.dram_capacity {
+                    t = self.spill_coldest(t);
+                }
+                self.table.insert(flow, (backend, Residence::Dram));
+                self.lru.push_back(flow);
+                (backend, t)
+            }
+            None => {
+                self.counters.bump("new_flows");
+                let backend = self.choose_backend(flow);
+                let mut t = t + DRAM_LOOKUP;
+                if self.lru.len() >= self.dram_capacity {
+                    t = self.spill_coldest(t);
+                }
+                self.table.insert(flow, (backend, Residence::Dram));
+                self.lru.push_back(flow);
+                (backend, t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flows_keep_their_backend() {
+        let mut lb = LoadBalancer::new(8, 1_000, 1 << 16);
+        let (b1, t) = lb.steer(42, Ns::ZERO);
+        let (b2, _) = lb.steer(42, t);
+        assert_eq!(b1, b2, "connection affinity");
+        assert_eq!(lb.counters.get("new_flows"), 1);
+        assert_eq!(lb.counters.get("hits_dram"), 1);
+    }
+
+    #[test]
+    fn backends_are_roughly_balanced() {
+        let lb = LoadBalancer::new(4, 10, 1 << 12);
+        let mut counts = [0u32; 4];
+        for f in 0..8_000u64 {
+            counts[lb.choose_backend(f).0 as usize] += 1;
+        }
+        for c in counts {
+            assert!(
+                (1_000..3_500).contains(&c),
+                "backend imbalance: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_spills_to_flash_and_affinity_survives() {
+        let mut lb = LoadBalancer::new(4, 100, 1 << 16);
+        let mut t = Ns::ZERO;
+        let mut first_backend = Vec::new();
+        // 500 flows through a 100-flow DRAM table: 400 evictions, one
+        // full spill page flushed (SPILL_BATCH = 256).
+        for f in 0..500u64 {
+            let (b, done) = lb.steer(f, t);
+            t = done;
+            first_backend.push(b);
+        }
+        assert!(lb.counters.get("spills") >= 400);
+        assert!(lb.counters.get("spill_pages") >= 1);
+        assert_eq!(lb.dram_flows(), 100);
+        assert_eq!(lb.total_flows(), 500);
+        // Revisit flow 0 (in the first flushed page): same backend, paid
+        // a flash read.
+        let (b, done) = lb.steer(0, t);
+        assert_eq!(b, first_backend[0]);
+        assert!(lb.counters.get("hits_flash") >= 1);
+        assert!(done > t + Ns(50_000), "flash promotion pays tR");
+        // A staged (unflushed) flow promotes at memory speed.
+        let staged_flow = 499 - 50; // evicted recently, still staged
+        let before = lb.counters.get("hits_flash");
+        let (_, done2) = lb.steer(staged_flow, done);
+        if lb.counters.get("hits_staged") > 0 {
+            assert_eq!(lb.counters.get("hits_flash"), before);
+            assert!(done2 - done < Ns(5_000));
+        }
+    }
+
+    #[test]
+    fn dram_hits_stay_fast_under_spill() {
+        let mut lb = LoadBalancer::new(4, 100, 1 << 16);
+        let mut t = Ns::ZERO;
+        for f in 0..500u64 {
+            let (_, done) = lb.steer(f, t);
+            t = done;
+        }
+        // Flow 499 is hot (just inserted): DRAM-speed steer.
+        let (_, done) = lb.steer(499, t);
+        assert!(done - t < Ns(1_000), "hot steer took {}", done - t);
+    }
+}

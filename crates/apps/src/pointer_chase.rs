@@ -1,0 +1,252 @@
+//! Network pointer chasing: client-driven vs. on-DPU traversal.
+//!
+//! Paper §2.4, workload 2: "In a disaggregated storage, pointer chasing
+//! over B+ trees ... results in multiple network RTTs with significant
+//! performance degradation. These latency-sensitive applications can now
+//! be deployed in the FPGA even if they access higher-level data objects."
+//!
+//! Two drivers over the *same* tree on the *same* DPU:
+//!
+//! * [`client_driven_lookup`] — the remote client walks the tree itself,
+//!   fetching one node per RPC (`TreeNodeRead`): `height` round trips;
+//! * [`offloaded_lookup`] — one RPC (`TreeLookup`); the traversal runs
+//!   next to the flash.
+
+use hyperion::dpu::HyperionDpu;
+use hyperion::services::{ServiceRequest, ServiceResponse, TableRegistry};
+use hyperion_net::rpc::{MethodId, RpcChannel};
+use hyperion_net::Network;
+use hyperion_sim::time::Ns;
+use hyperion_storage::blockstore::BLOCK;
+
+/// Result of one remote lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseResult {
+    /// The value found (None on miss).
+    pub value: Option<u64>,
+    /// Completion instant at the client.
+    pub done: Ns,
+    /// Request/response round trips consumed.
+    pub rtts: u64,
+}
+
+/// Loads `n` keys (`key -> key * 7`) into the DPU's tree.
+pub fn populate_tree(dpu: &mut HyperionDpu, n: u64, now: Ns) -> Ns {
+    let reg = TableRegistry::default();
+    let mut t = now;
+    for k in 0..n {
+        let (_, done) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::TreeInsert {
+                    key: k,
+                    value: k * 7,
+                },
+                t,
+            )
+            .expect("insert");
+        t = done;
+    }
+    t
+}
+
+/// One offloaded lookup: a single RPC, full traversal at the DPU.
+pub fn offloaded_lookup(
+    dpu: &mut HyperionDpu,
+    channel: &mut RpcChannel,
+    net: &mut Network,
+    key: u64,
+    now: Ns,
+) -> ChaseResult {
+    let reg = TableRegistry::default();
+    // Server work = the on-DPU traversal time.
+    let (resp, served) = dpu
+        .serve(&reg, ServiceRequest::TreeLookup { key }, now)
+        .expect("lookup");
+    let ServiceResponse::Value(value) = resp else {
+        unreachable!("lookup returns a value");
+    };
+    let work = served - now;
+    let d = channel
+        .call(net, MethodId(1), now, 16, 16, work)
+        .expect("rpc");
+    ChaseResult {
+        value,
+        done: d.done,
+        rtts: d.wire_rounds,
+    }
+}
+
+/// One client-driven lookup: fetch each node over the network and parse
+/// it at the client, exactly as a disaggregated-storage client would.
+pub fn client_driven_lookup(
+    dpu: &mut HyperionDpu,
+    channel: &mut RpcChannel,
+    net: &mut Network,
+    key: u64,
+    now: Ns,
+) -> ChaseResult {
+    let reg = TableRegistry::default();
+    let tree = dpu.btree.as_ref().expect("tree exists");
+    // The client knows the root address (cached from an earlier open).
+    let mut lba = tree.root_lba();
+    let height = tree.height();
+    let mut t = now;
+    let mut rtts = 0;
+    let mut value = None;
+    for level in 0..height {
+        // Fetch one node: the server-side work is the single block read.
+        let (resp, served) = dpu
+            .serve(&reg, ServiceRequest::TreeNodeRead { lba }, t)
+            .expect("node read");
+        let ServiceResponse::Node(data) = resp else {
+            unreachable!("node read returns bytes");
+        };
+        let work = served - t;
+        let d = channel
+            .call(net, MethodId(2), t, 16, BLOCK, work)
+            .expect("rpc");
+        t = d.done;
+        rtts += d.wire_rounds;
+        // Parse the node at the client (same format as storage::btree).
+        let tag = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        let n = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")) as usize;
+        let word = |i: usize| -> u64 {
+            u64::from_le_bytes(data[16 + i * 8..24 + i * 8].try_into().expect("8 bytes"))
+        };
+        if tag == 1 {
+            // Leaf.
+            for i in 0..n {
+                if word(i) == key {
+                    value = Some(word(n + i));
+                }
+            }
+            debug_assert_eq!(level + 1, height);
+        } else {
+            // Internal: binary search the separator keys.
+            let mut idx = 0;
+            while idx < n && word(idx) <= key {
+                idx += 1;
+            }
+            lba = word(n + idx);
+        }
+    }
+    ChaseResult {
+        value,
+        done: t,
+        rtts,
+    }
+}
+
+/// Memory-resident pointer chasing: the tree's nodes live in the DPU's
+/// HBM/DRAM (the disaggregated-*memory* flavour of §2.4, as in Clio),
+/// so per-node work is a DRAM access and the network round trips
+/// dominate. `height` levels at `node_cost` each.
+///
+/// Returns (client-driven result, offloaded result).
+pub fn cached_chase(
+    channel: &mut RpcChannel,
+    net: &mut Network,
+    height: u32,
+    node_cost: Ns,
+    now: Ns,
+) -> (ChaseResult, ChaseResult) {
+    // Client-driven: one RPC per level.
+    let mut t = now;
+    let mut rtts = 0;
+    for _ in 0..height {
+        let d = channel
+            .call(net, MethodId(3), t, 16, BLOCK, node_cost)
+            .expect("rpc");
+        t = d.done;
+        rtts += d.wire_rounds;
+    }
+    let client = ChaseResult {
+        value: Some(0),
+        done: t,
+        rtts,
+    };
+    // Offloaded: one RPC, height node accesses at the server.
+    let d = channel
+        .call(net, MethodId(4), t, 16, 16, node_cost * height as u64)
+        .expect("rpc");
+    let offloaded = ChaseResult {
+        value: Some(0),
+        done: d.done,
+        rtts: d.wire_rounds,
+    };
+    (client, offloaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_net::transport::{Endpoint, EndpointKind, Transport, TransportKind};
+
+    fn setup(keys: u64) -> (HyperionDpu, Network, RpcChannel, Ns) {
+        let mut dpu = HyperionDpu::assemble(1);
+        let t = dpu.boot(Ns::ZERO).unwrap();
+        let t = populate_tree(&mut dpu, keys, t);
+        let mut net = Network::new();
+        let client = Endpoint::new(net.add_node(), EndpointKind::Kernel);
+        let server = Endpoint::new(net.add_node(), EndpointKind::Hardware);
+        let channel = RpcChannel::new(client, server, Transport::new(TransportKind::Udp));
+        (dpu, net, channel, t)
+    }
+
+    #[test]
+    fn both_strategies_find_the_same_values() {
+        let (mut dpu, mut net, mut ch, t) = setup(5_000);
+        for key in [0u64, 17, 499, 4_999] {
+            let off = offloaded_lookup(&mut dpu, &mut ch, &mut net, key, t);
+            let cli = client_driven_lookup(&mut dpu, &mut ch, &mut net, key, t);
+            assert_eq!(off.value, Some(key * 7));
+            assert_eq!(cli.value, Some(key * 7));
+        }
+        let miss = offloaded_lookup(&mut dpu, &mut ch, &mut net, 999_999, t);
+        assert_eq!(miss.value, None);
+    }
+
+    #[test]
+    fn client_driven_pays_height_rtts() {
+        let (mut dpu, mut net, mut ch, t) = setup(5_000);
+        let height = dpu.btree.as_ref().unwrap().height() as u64;
+        assert!(height >= 2);
+        let off = offloaded_lookup(&mut dpu, &mut ch, &mut net, 100, t);
+        let cli = client_driven_lookup(&mut dpu, &mut ch, &mut net, 100, t);
+        assert_eq!(off.rtts, 1);
+        assert_eq!(cli.rtts, height);
+    }
+
+    #[test]
+    fn cached_chase_speedup_approaches_height() {
+        let mut net = Network::new();
+        let client = Endpoint::new(net.add_node(), EndpointKind::Kernel);
+        let server = Endpoint::new(net.add_node(), EndpointKind::Hardware);
+        let mut ch = RpcChannel::new(client, server, Transport::new(TransportKind::Udp));
+        let t = Ns::ZERO;
+        let (cli, off) = cached_chase(&mut ch, &mut net, 6, Ns(200), t);
+        let cli_lat = (cli.done - t).0 as f64;
+        let off_lat = (off.done - cli.done).0 as f64;
+        let speedup = cli_lat / off_lat;
+        assert_eq!(cli.rtts, 6);
+        assert_eq!(off.rtts, 1);
+        assert!(
+            (4.0..7.0).contains(&speedup),
+            "memory-resident speedup tracks height: {speedup}"
+        );
+    }
+
+    #[test]
+    fn offload_wins_on_latency_for_deep_trees() {
+        let (mut dpu, mut net, mut ch, t) = setup(5_000);
+        let off = offloaded_lookup(&mut dpu, &mut ch, &mut net, 2_500, t);
+        let cli = client_driven_lookup(&mut dpu, &mut ch, &mut net, 2_500, t);
+        assert!(
+            cli.done - t > off.done - t,
+            "client-driven {} vs offloaded {}",
+            cli.done - t,
+            off.done - t
+        );
+    }
+}

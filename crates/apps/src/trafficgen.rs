@@ -1,0 +1,126 @@
+//! Deterministic network traffic generation for the middleware workloads.
+
+use hyperion_net::frame::{FlowKey, Packet};
+use hyperion_sim::rng::{Rng, Zipf};
+
+/// A synthetic traffic mix: many flows with Zipf popularity, a fraction of
+/// which are "attackers" (repeated auth failures, for fail2ban) and the
+/// rest ordinary traffic.
+#[derive(Debug)]
+pub struct TrafficGen {
+    rng: Rng,
+    zipf: Zipf,
+    flows: u64,
+    attack_fraction: f64,
+    payload: usize,
+}
+
+impl TrafficGen {
+    /// Creates a generator over `flows` distinct flows with skewed
+    /// popularity; `attack_fraction` of flows are attackers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero or `attack_fraction` is not in `[0, 1]`.
+    pub fn new(seed: u64, flows: u64, attack_fraction: f64, payload: usize) -> TrafficGen {
+        assert!(flows > 0, "need at least one flow");
+        assert!(
+            (0.0..=1.0).contains(&attack_fraction),
+            "attack fraction must be a probability"
+        );
+        TrafficGen {
+            rng: Rng::seeded(seed),
+            zipf: Zipf::new(flows, 0.9),
+            flows,
+            attack_fraction,
+            payload,
+        }
+    }
+
+    /// Flow id → 5-tuple (deterministic).
+    pub fn flow_key(&self, flow: u64) -> FlowKey {
+        FlowKey {
+            src_ip: 0x0A00_0000 | (flow as u32 & 0x00FF_FFFF),
+            dst_ip: 0x0A01_0001,
+            src_port: 1024 + (flow % 50_000) as u16,
+            dst_port: 22, // the fail2ban-canonical SSH port
+            proto: 6,
+        }
+    }
+
+    /// Whether a flow id is an attacker (stable per flow).
+    pub fn is_attacker(&self, flow: u64) -> bool {
+        let h = flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        (h as f64 / (1u64 << 24) as f64) < self.attack_fraction
+    }
+
+    /// Number of flows in the mix.
+    pub fn flows(&self) -> u64 {
+        self.flows
+    }
+
+    /// Emits the next packet: a Zipf-popular flow; attacker packets carry
+    /// a SYN flag and an "auth failed" marker byte.
+    pub fn next_packet(&mut self) -> (u64, Packet) {
+        let flow = self.zipf.sample(&mut self.rng);
+        let attacker = self.is_attacker(flow);
+        let mut payload = vec![0u8; self.payload.max(1)];
+        payload[0] = if attacker { 0xFA } else { 0x00 }; // auth-failed marker
+        self.rng.fill_bytes(&mut payload[1..]);
+        payload[0] = if attacker { 0xFA } else { 0x00 };
+        (
+            flow,
+            Packet {
+                flow: self.flow_key(flow),
+                payload: bytes::Bytes::from(payload),
+                tcp_flags: if attacker { 0x02 } else { 0x10 },
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = TrafficGen::new(7, 1000, 0.1, 64);
+        let mut b = TrafficGen::new(7, 1000, 0.1, 64);
+        for _ in 0..100 {
+            let (fa, pa) = a.next_packet();
+            let (fb, pb) = b.next_packet();
+            assert_eq!(fa, fb);
+            assert_eq!(pa.payload, pb.payload);
+        }
+    }
+
+    #[test]
+    fn attack_fraction_is_roughly_respected() {
+        let g = TrafficGen::new(1, 100_000, 0.2, 64);
+        let attackers = (0..100_000).filter(|&f| g.is_attacker(f)).count();
+        let frac = attackers as f64 / 100_000.0;
+        assert!((0.15..0.25).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn attacker_packets_are_marked() {
+        let mut g = TrafficGen::new(3, 100, 1.0, 16);
+        let (_, p) = g.next_packet();
+        assert_eq!(p.payload[0], 0xFA);
+        assert_eq!(p.tcp_flags, 0x02);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut g = TrafficGen::new(5, 10_000, 0.0, 16);
+        let mut hot = 0;
+        for _ in 0..5_000 {
+            let (f, _) = g.next_packet();
+            if f < 100 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 1_500, "hot flows hits: {hot}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # hyperion-baseline — the CPU-centric comparison system
+//!
+//! Everything Hyperion is measured *against*:
+//!
+//! * [`host`] — a host server whose I/O passes through syscalls, the
+//!   kernel block/VFS stacks, page-based virtual memory (TLB + walks),
+//!   bounce-buffer copies, and context switches — the paper's §1 critique
+//!   priced out over the same NVMe device model;
+//! * [`pairwise`] — the six Table-1 pair-wise integration patterns as
+//!   runnable configurations, counting CPU-mediated hops, copies, and
+//!   host-DRAM bounces against Hyperion's unified path (experiment E2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod pairwise;
+
+pub use host::{HostServer, BLOCK_STACK, CONTEXT_SWITCH, SYSCALL, VFS_LAYER};
+pub use pairwise::{run_pattern, Pattern, PatternResult};

@@ -1,0 +1,239 @@
+//! The six pair-wise integration patterns of Table 1, made measurable.
+//!
+//! Table 1 surveys "state-of-the-art efforts in decreasing the CPU
+//! involvement in computing while maintaining CPU-centric memory and
+//! storage abstractions when doing pair-wise accelerator interactions".
+//! Experiment E2 reproduces the table as *measurements*: for a canonical
+//! end-to-end task — move a 4 KiB object from the network to an
+//! accelerator to storage — each pattern routes the data per its row's
+//! limitation, and we count CPU-mediated hops, copies, and host-DRAM
+//! bounces, plus the end-to-end latency.
+
+use hyperion_pcie::{DmaRoute, PcieGen, PcieLink, RootComplex};
+use hyperion_sim::stats::Counters;
+use hyperion_sim::time::Ns;
+
+use crate::host::{HostServer, BLOCK_STACK, SYSCALL, VFS_LAYER};
+
+/// One Table-1 row (or Hyperion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// GPU-with-network (refs 93, 125): "Does not have or consider any storage
+    /// integration" — storage legs bounce through the host.
+    GpuWithNetwork,
+    /// GPU-with-storage (refs 23, 26, ...): "CPU-assisted storage translation, no
+    /// or limited networking support" — network legs bounce through the
+    /// host; storage legs use P2P but the CPU translates.
+    GpuWithStorage,
+    /// FPGA/SoC-with-network (refs 37, 54, ...): "Does not have or consider
+    /// storage integration".
+    FpgaWithNetwork,
+    /// Storage-with-network (refs 75, 95, ...): "Block-level protocols only, no
+    /// support for file systems" — FS translation runs on the host CPU.
+    StorageWithNetwork,
+    /// Storage-with-accelerator (refs 27, 67, ...): "CPU does the file
+    /// system/translations, no/limited network support".
+    StorageWithAccelerator,
+    /// Commercial DPUs (refs 59, 126, 131): "DPU designed around specialized CPU
+    /// cores" — integrated, but an on-DPU CPU still mediates.
+    CommercialDpu,
+    /// Hyperion: unified network+compute+storage, no CPU anywhere.
+    Hyperion,
+}
+
+impl Pattern {
+    /// All rows in Table-1 order, with Hyperion last.
+    pub const ALL: [Pattern; 7] = [
+        Pattern::GpuWithNetwork,
+        Pattern::GpuWithStorage,
+        Pattern::FpgaWithNetwork,
+        Pattern::StorageWithNetwork,
+        Pattern::StorageWithAccelerator,
+        Pattern::CommercialDpu,
+        Pattern::Hyperion,
+    ];
+
+    /// Display name matching the Table-1 row.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::GpuWithNetwork => "gpu+network",
+            Pattern::GpuWithStorage => "gpu+storage",
+            Pattern::FpgaWithNetwork => "fpga+network",
+            Pattern::StorageWithNetwork => "storage+network",
+            Pattern::StorageWithAccelerator => "storage+accel",
+            Pattern::CommercialDpu => "commercial-dpu",
+            Pattern::Hyperion => "hyperion",
+        }
+    }
+}
+
+/// Measured outcome for one pattern.
+#[derive(Debug, Clone)]
+pub struct PatternResult {
+    /// Which pattern.
+    pub pattern: Pattern,
+    /// End-to-end latency of the network→accelerator→storage task.
+    pub latency: Ns,
+    /// Structural counters: `cpu_hops`, `copies`, `dram_bounces`, `dma`.
+    pub counters: Counters,
+}
+
+/// Runs the canonical task — receive `bytes` from the network, process on
+/// the accelerator, persist to storage — under `pattern`.
+pub fn run_pattern(pattern: Pattern, bytes: u64, now: Ns) -> PatternResult {
+    let mut rc = RootComplex::new();
+    let mut nic = PcieLink::new("nic", PcieGen::Gen3, 8);
+    let mut accel = PcieLink::new("accel", PcieGen::Gen3, 16);
+    let mut ssd = PcieLink::new("ssd", PcieGen::Gen3, 4);
+    let mut host = HostServer::new(1 << 16);
+
+    // Accelerator compute on the data (same for everyone).
+    let accel_work = Ns(2_000);
+
+    let done = match pattern {
+        Pattern::GpuWithNetwork => {
+            // NIC→GPU is integrated (P2P, host sets it up); GPU→storage is
+            // unsupported: bounce through host DRAM with full kernel I/O.
+            let t = rc.dma(DmaRoute::HostP2p, &mut nic, &mut accel, now, bytes);
+            let t = t + accel_work;
+            let t = rc.dma(DmaRoute::HostBounce, &mut accel, &mut ssd, t, bytes);
+            host.counters.bump("syscalls");
+            host.cpu(t, SYSCALL + BLOCK_STACK)
+        }
+        Pattern::GpuWithStorage => {
+            // NIC→GPU unsupported: kernel network stack + bounce. GPU→SSD
+            // is P2P but the CPU still translates (file offsets → LBAs).
+            let t = rc.dma(DmaRoute::HostBounce, &mut nic, &mut accel, now, bytes);
+            host.counters.bump("syscalls");
+            let t = host.cpu(t, SYSCALL);
+            let t = t + accel_work;
+            let t = host.cpu(t, VFS_LAYER); // CPU-side translation
+            rc.dma(DmaRoute::HostP2p, &mut accel, &mut ssd, t, bytes)
+        }
+        Pattern::FpgaWithNetwork => {
+            // NIC→FPGA is direct (the FPGA is the NIC); storage leg is
+            // unsupported: bounce + kernel block stack.
+            let t = rc.dma(DmaRoute::FpgaDirect, &mut nic, &mut accel, now, bytes);
+            let t = t + accel_work;
+            let t = rc.dma(DmaRoute::HostBounce, &mut accel, &mut ssd, t, bytes);
+            host.counters.bump("syscalls");
+            host.cpu(t, SYSCALL + BLOCK_STACK)
+        }
+        Pattern::StorageWithNetwork => {
+            // NVMe-oF style: NIC→SSD without accelerator compute support;
+            // the compute leg detours through the host (no accelerator
+            // integration) and FS translation runs on the CPU.
+            let t = rc.dma(DmaRoute::HostBounce, &mut nic, &mut accel, now, bytes);
+            host.counters.bump("syscalls");
+            let t = host.cpu(t, SYSCALL + VFS_LAYER);
+            let t = t + accel_work;
+            rc.dma(DmaRoute::HostP2p, &mut accel, &mut ssd, t, bytes)
+        }
+        Pattern::StorageWithAccelerator => {
+            // CSD-style: accelerator→storage integrated; the network leg
+            // bounces, and the CPU does the FS translation.
+            let t = rc.dma(DmaRoute::HostBounce, &mut nic, &mut accel, now, bytes);
+            host.counters.bump("syscalls");
+            let t = host.cpu(t, SYSCALL + VFS_LAYER);
+            let t = t + accel_work;
+            rc.dma(DmaRoute::FpgaDirect, &mut accel, &mut ssd, t, bytes)
+        }
+        Pattern::CommercialDpu => {
+            // Integrated datapath, but on-DPU ARM cores mediate both legs
+            // (cheaper than a host hop, still CPU involvement).
+            let arm_mediation = Ns(1_500);
+            rc.counters.bump("cpu_hops");
+            let t = rc.dma(DmaRoute::FpgaDirect, &mut nic, &mut accel, now, bytes);
+            let t = t + arm_mediation + accel_work;
+            rc.counters.bump("cpu_hops");
+            let t = rc.dma(DmaRoute::FpgaDirect, &mut accel, &mut ssd, t, bytes);
+            t + arm_mediation
+        }
+        Pattern::Hyperion => {
+            // Unified: network → fabric → storage, all on-card.
+            let t = rc.dma(DmaRoute::FpgaDirect, &mut nic, &mut accel, now, bytes);
+            let t = t + accel_work;
+            rc.dma(DmaRoute::FpgaDirect, &mut accel, &mut ssd, t, bytes)
+        }
+    };
+    let mut counters = rc.counters.clone();
+    counters.merge(&host.counters);
+    PatternResult {
+        pattern,
+        latency: done - now,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(p: Pattern) -> PatternResult {
+        run_pattern(p, 4096, Ns::ZERO)
+    }
+
+    #[test]
+    fn hyperion_is_the_only_zero_cpu_pattern() {
+        for p in Pattern::ALL {
+            let r = result(p);
+            if p == Pattern::Hyperion {
+                assert_eq!(r.counters.get("cpu_hops"), 0, "{}", p.name());
+                assert_eq!(r.counters.get("copies"), 0);
+                assert_eq!(r.counters.get("dram_bounces"), 0);
+                assert_eq!(r.counters.get("syscalls"), 0);
+            } else {
+                assert!(
+                    r.counters.get("cpu_hops") + r.counters.get("syscalls") >= 1,
+                    "{} must involve a CPU",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hyperion_has_the_lowest_latency() {
+        let hyperion = result(Pattern::Hyperion).latency;
+        for p in Pattern::ALL {
+            if p != Pattern::Hyperion {
+                let r = result(p);
+                assert!(
+                    r.latency > hyperion,
+                    "{}: {} should exceed hyperion {}",
+                    p.name(),
+                    r.latency,
+                    hyperion
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_integrated_leg_bounces_dram() {
+        // The four patterns with a missing integration leg bounce once.
+        for p in [
+            Pattern::GpuWithNetwork,
+            Pattern::GpuWithStorage,
+            Pattern::FpgaWithNetwork,
+            Pattern::StorageWithNetwork,
+            Pattern::StorageWithAccelerator,
+        ] {
+            let r = result(p);
+            assert!(
+                r.counters.get("dram_bounces") >= 1,
+                "{} should bounce",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn commercial_dpu_integrates_but_mediates() {
+        let r = result(Pattern::CommercialDpu);
+        assert_eq!(r.counters.get("dram_bounces"), 0);
+        assert_eq!(r.counters.get("cpu_hops"), 2);
+        // Still faster than host-bounce patterns.
+        assert!(r.latency < result(Pattern::GpuWithNetwork).latency);
+    }
+}

@@ -1,0 +1,64 @@
+//! Prints every experiment table of the reproduction.
+//!
+//! Usage:
+//! ```text
+//! report            # all experiments
+//! report e6 f2      # a subset by id (e1..e10, f2)
+//! ```
+
+use hyperion_bench::experiments;
+use hyperion_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    let mut tables: Vec<(&'static str, Vec<Table>)> = Vec::new();
+    if want("e1") {
+        tables.push(("e1", experiments::e1::run()));
+    }
+    if want("e2") {
+        tables.push(("e2", experiments::e2::run()));
+    }
+    if want("e3") {
+        tables.push(("e3", experiments::e3::run()));
+    }
+    if want("e4") {
+        tables.push(("e4", experiments::e4::run()));
+    }
+    if want("e5") {
+        tables.push(("e5", experiments::e5::run()));
+    }
+    if want("e6") {
+        tables.push(("e6", experiments::e6::run()));
+    }
+    if want("e7") {
+        tables.push(("e7", experiments::e7::run()));
+    }
+    if want("e8") {
+        tables.push(("e8", experiments::e8::run()));
+    }
+    if want("e9") {
+        tables.push(("e9", experiments::e9::run()));
+    }
+    if want("e10") {
+        tables.push(("e10", experiments::e10::run()));
+    }
+    if want("e11") {
+        tables.push(("e11", experiments::e11::run()));
+    }
+    if want("e12") {
+        tables.push(("e12", experiments::e12::run()));
+    }
+    if want("f2") || want("figure2") {
+        tables.push(("f2", experiments::figure2::run()));
+    }
+
+    println!("# Hyperion reproduction — experiment report");
+    println!();
+    for (_, group) in tables {
+        for t in group {
+            println!("{t}");
+        }
+    }
+}

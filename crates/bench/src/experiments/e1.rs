@@ -1,0 +1,124 @@
+//! E1 — Energy and density: the paper's 4–8x efficiency / 5–10x
+//! compactness claim (§2).
+//!
+//! Runs the same storage operation mix on the Hyperion DPU and on the
+//! CPU-centric host, both under their maximum-TDP envelope (exactly the
+//! comparison the paper makes), and reports energy per operation plus the
+//! physical density ratios.
+
+use hyperion::dpu::HyperionDpu;
+use hyperion::platform::{HYPERION, SERVER_1U};
+use hyperion_baseline::host::HostServer;
+use hyperion_sim::time::Ns;
+
+use crate::table::{fmt_ratio, Table};
+
+/// Operation mix sizes (bytes) exercised per platform.
+const SIZES: [u64; 3] = [4 << 10, 64 << 10, 1 << 20];
+
+/// Operations per configuration.
+const OPS: u64 = 64;
+
+/// Runs E1 and returns its tables.
+pub fn run() -> Vec<Table> {
+    let mut energy = Table::new(
+        "E1: energy per op under max TDP (paper: 4-8x)",
+        &["op size", "hyperion J/op", "server J/op", "efficiency"],
+    );
+
+    for &size in &SIZES {
+        // Hyperion: durable-object reads straight from the single-level
+        // store (one segment-table lookup + the flash work, no software
+        // stack). Objects rotate so flash parallelism matches the host
+        // side, which also reads distinct LBAs.
+        let mut dpu = HyperionDpu::assemble(1);
+        let t0 = dpu.boot(Ns::ZERO).expect("boot");
+        let blocks = size.div_ceil(4096);
+        let nobjs = 8u64;
+        for i in 0..nobjs {
+            dpu.segments
+                .create(
+                    hyperion_mem::seglevel::SegmentId(i as u128 + 1),
+                    size,
+                    hyperion_mem::seglevel::AllocHint::Durable,
+                    t0,
+                )
+                .expect("create");
+        }
+        let mut t = t0;
+        for i in 0..OPS {
+            let id = hyperion_mem::seglevel::SegmentId((i % nobjs) as u128 + 1);
+            let (_, done) = dpu.segments.read(id, 0, size, t).expect("read");
+            t = done;
+        }
+        let dpu_time = t - t0;
+        let dpu_energy = HYPERION.max_tdp.energy_over(dpu_time);
+        let dpu_j_per_op = dpu_energy.as_joules_f64() / OPS as f64;
+
+        // Host: the same reads through the kernel storage path, over the
+        // same rotation of distinct extents.
+        let mut host = HostServer::new(1 << 22);
+        let mut t = Ns::ZERO;
+        for i in 0..OPS {
+            let lba = (i % nobjs) * blocks;
+            let (_, done) = host.kernel_read(lba, blocks as u32, t).expect("read");
+            t = done;
+        }
+        let host_time = t;
+        let host_energy = SERVER_1U.max_tdp.energy_over(host_time);
+        let host_j_per_op = host_energy.as_joules_f64() / OPS as f64;
+
+        energy.row(vec![
+            format!("{} KiB", size >> 10),
+            format!("{dpu_j_per_op:.4}"),
+            format!("{host_j_per_op:.4}"),
+            fmt_ratio(host_j_per_op / dpu_j_per_op),
+        ]);
+    }
+
+    let mut density = Table::new(
+        "E1b: physical density (paper: 5-10x more compact)",
+        &["platform", "max TDP", "volume", "vs hyperion"],
+    );
+    for spec in [HYPERION, SERVER_1U] {
+        density.row(vec![
+            spec.name.to_string(),
+            format!("{}", spec.max_tdp),
+            format!("{} cm3", spec.volume_cm3),
+            fmt_ratio(HYPERION.volume_ratio_vs(&spec)),
+        ]);
+    }
+    vec![energy, density]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn tables() -> &'static [Table] {
+        static T: OnceLock<Vec<Table>> = OnceLock::new();
+        T.get_or_init(run)
+    }
+
+    #[test]
+    fn efficiency_lands_in_or_above_the_paper_band() {
+        let tables = tables();
+        // Parse the efficiency column of the energy table.
+        for row in &tables[0].rows {
+            let eff: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            assert!(
+                eff >= 4.0,
+                "efficiency {eff} below the paper's 4x lower bound ({row:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn compactness_in_band() {
+        let tables = tables();
+        let server_row = &tables[1].rows[1];
+        let ratio: f64 = server_row[3].trim_end_matches('x').parse().unwrap();
+        assert!((5.0..=10.0).contains(&ratio), "volume ratio {ratio}");
+    }
+}

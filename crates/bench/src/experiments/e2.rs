@@ -1,0 +1,62 @@
+//! E2 — Table 1 as measurements: CPU involvement of pair-wise
+//! integration patterns vs. Hyperion's unified path.
+
+use hyperion_baseline::pairwise::{run_pattern, Pattern};
+use hyperion_sim::time::Ns;
+
+use crate::table::{fmt_ns, Table};
+
+/// Object size moved through each pattern.
+const BYTES: u64 = 4 << 10;
+
+/// Runs E2.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E2: Table-1 pair-wise patterns, network->accel->storage (4 KiB)",
+        &[
+            "pattern",
+            "cpu hops",
+            "syscalls",
+            "copies",
+            "dram bounces",
+            "latency",
+        ],
+    );
+    for p in Pattern::ALL {
+        let r = run_pattern(p, BYTES, Ns::ZERO);
+        t.row(vec![
+            p.name().to_string(),
+            r.counters.get("cpu_hops").to_string(),
+            r.counters.get("syscalls").to_string(),
+            r.counters.get("copies").to_string(),
+            r.counters.get("dram_bounces").to_string(),
+            fmt_ns(r.latency.0),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperion_row_is_all_zeros() {
+        let t = &run()[0];
+        let hyperion = t.rows.last().unwrap();
+        assert_eq!(hyperion[0], "hyperion");
+        for cell in &hyperion[1..5] {
+            assert_eq!(cell, "0");
+        }
+    }
+
+    #[test]
+    fn every_prior_pattern_involves_a_cpu() {
+        let t = &run()[0];
+        for row in &t.rows[..t.rows.len() - 1] {
+            let hops: u64 = row[1].parse().unwrap();
+            let syscalls: u64 = row[2].parse().unwrap();
+            assert!(hops + syscalls > 0, "{row:?}");
+        }
+    }
+}

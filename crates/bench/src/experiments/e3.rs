@@ -1,0 +1,101 @@
+//! E3 — Translation overheads: the segment table vs. page-based virtual
+//! memory (paper §2.1: object-grained translation "reduc(es) overheads
+//! associated with the virtual memory translation").
+//!
+//! Both mechanisms translate the same access stream: `objects` objects of
+//! `OBJ_SIZE` bytes each, accessed with uniform or Zipf popularity. The
+//! segment table pays one fixed lookup per access; the VM pays TLB
+//! hit/miss dynamics over `OBJ_SIZE/4K` pages per object.
+
+use hyperion_mem::seglevel::SEG_LOOKUP;
+use hyperion_mem::vmpage::{PageWalker, PAGE_SIZE};
+use hyperion_sim::rng::{Rng, Zipf};
+
+use crate::table::Table;
+
+/// Bytes per object.
+const OBJ_SIZE: u64 = 64 << 10;
+
+/// Accesses per configuration.
+const ACCESSES: u64 = 50_000;
+
+/// Runs E3.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E3: translation cost per access, segment table vs page walks",
+        &[
+            "objects",
+            "distribution",
+            "segment ns/access",
+            "vm ns/access",
+            "vm tlb hit rate",
+            "overhead ratio",
+        ],
+    );
+    for &objects in &[1_000u64, 10_000, 100_000] {
+        for skew in [false, true] {
+            let mut rng = Rng::seeded(42);
+            let zipf = Zipf::new(objects, 0.99);
+            let mut walker = PageWalker::new();
+            let mut vm_total = 0u64;
+            for _ in 0..ACCESSES {
+                let obj = if skew {
+                    zipf.sample(&mut rng)
+                } else {
+                    rng.next_below(objects)
+                };
+                // Random page within the object.
+                let page = rng.next_below(OBJ_SIZE / PAGE_SIZE);
+                let vaddr = obj * OBJ_SIZE + page * PAGE_SIZE;
+                vm_total += walker.translate(vaddr).0;
+            }
+            // The segment table: one fixed-cost lookup per access,
+            // independent of object size and working set.
+            let seg_total = SEG_LOOKUP.0 * ACCESSES;
+            let seg_per = seg_total as f64 / ACCESSES as f64;
+            let vm_per = vm_total as f64 / ACCESSES as f64;
+            t.row(vec![
+                objects.to_string(),
+                if skew { "zipf-0.99" } else { "uniform" }.to_string(),
+                format!("{seg_per:.1}"),
+                format!("{vm_per:.1}"),
+                format!("{:.1}%", walker.hit_rate() * 100.0),
+                format!("{:.2}x", vm_per / seg_per),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_cost_is_flat_and_vm_cost_grows() {
+        let t = &run()[0];
+        // Segment ns/access identical everywhere.
+        let seg: Vec<&String> = t.rows.iter().map(|r| &r[2]).collect();
+        assert!(seg.windows(2).all(|w| w[0] == w[1]));
+        // Uniform VM cost grows with working set (rows 0, 2, 4).
+        let vm_at = |i: usize| -> f64 { t.rows[i][3].parse().unwrap() };
+        assert!(vm_at(2) > vm_at(0), "10k vs 1k: {} vs {}", vm_at(2), vm_at(0));
+        assert!(vm_at(4) > vm_at(2), "100k vs 10k");
+    }
+
+    #[test]
+    fn vm_beats_nothing_once_working_set_exceeds_tlb() {
+        let t = &run()[0];
+        // At 100k uniform objects the overhead ratio must be large.
+        let ratio: f64 = t.rows[4][5].trim_end_matches('x').parse().unwrap();
+        assert!(ratio > 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn skew_softens_vm_cost() {
+        let t = &run()[0];
+        let uniform: f64 = t.rows[4][3].parse().unwrap();
+        let zipf: f64 = t.rows[5][3].parse().unwrap();
+        assert!(zipf < uniform, "zipf {zipf} vs uniform {uniform}");
+    }
+}

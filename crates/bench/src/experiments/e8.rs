@@ -1,0 +1,125 @@
+//! E8 — Predictability under multi-tenancy (paper §2 strength 3, §2.5,
+//! §4 Q4): a resident hardware pipeline's tail latency is immune to
+//! co-tenant reconfiguration churn, while co-tenants on a shared CPU
+//! inflate each other's tails.
+
+use hyperion::control::ControlPlane;
+use hyperion::dpu::HyperionDpu;
+use hyperion::tenancy::run_with_co_tenants;
+use hyperion_baseline::host::HostServer;
+use hyperion_sim::rng::Rng;
+use hyperion_sim::stats::Histogram;
+use hyperion_sim::time::Ns;
+
+use crate::table::{fmt_ns, Table};
+
+const KEY: u64 = 0xC0FFEE;
+
+/// Requests per tenant run.
+const ITEMS: u64 = 5_000;
+
+/// Inter-arrival period of the resident tenant's requests.
+const PERIOD: Ns = Ns(2_000);
+
+/// Runs E8.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8: resident-tenant latency under co-tenant churn",
+        &[
+            "platform",
+            "co-tenants",
+            "p50",
+            "p99",
+            "p99.9",
+            "max",
+        ],
+    );
+    for &co in &[0usize, 2, 4] {
+        let mut dpu = HyperionDpu::assemble(KEY);
+        let t0 = dpu.boot(Ns::ZERO).expect("boot");
+        let mut cp = ControlPlane::new(KEY);
+        let report =
+            run_with_co_tenants(&mut dpu, &mut cp, ITEMS, PERIOD, co, t0).expect("tenancy run");
+        let h = &report.resident_latency;
+        t.row(vec![
+            "hyperion".into(),
+            co.to_string(),
+            fmt_ns(h.percentile(50.0)),
+            fmt_ns(h.percentile(99.0)),
+            fmt_ns(h.percentile(99.9)),
+            fmt_ns(h.max()),
+        ]);
+    }
+    for &co in &[0usize, 2, 4] {
+        let h = host_tenancy(co);
+        t.row(vec![
+            "host-shared-cpu".into(),
+            co.to_string(),
+            fmt_ns(h.percentile(50.0)),
+            fmt_ns(h.percentile(99.0)),
+            fmt_ns(h.percentile(99.9)),
+            fmt_ns(h.max()),
+        ]);
+    }
+    vec![t]
+}
+
+/// Host baseline: the resident tenant's requests share cores with
+/// co-tenant batch jobs; the scheduler gives no isolation.
+fn host_tenancy(co_tenants: usize) -> Histogram {
+    let mut host = HostServer::new(1 << 16);
+    let mut rng = Rng::seeded(17);
+    let mut latency = Histogram::new();
+    let mut now = Ns::ZERO;
+    let work = Ns(1_500); // per-request CPU work of the resident tenant
+    for _ in 0..ITEMS {
+        // Co-tenants inject bursty background jobs onto the same cores.
+        for _ in 0..co_tenants {
+            if rng.chance(0.3) {
+                let burst = Ns(rng.range(10_000, 120_000));
+                host.cpu(now, burst);
+            }
+        }
+        let done = host.cpu(now, work);
+        latency.record_ns(done - now);
+        now += PERIOD;
+    }
+    latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ns(cell: &str) -> f64 {
+        // Cells look like "123ns" / "1.500us" / "2.000ms".
+        if let Some(v) = cell.strip_suffix("ms") {
+            v.parse::<f64>().unwrap() * 1e6
+        } else if let Some(v) = cell.strip_suffix("us") {
+            v.parse::<f64>().unwrap() * 1e3
+        } else if let Some(v) = cell.strip_suffix("ns") {
+            v.parse::<f64>().unwrap()
+        } else {
+            panic!("bad ns cell {cell}")
+        }
+    }
+
+    #[test]
+    fn hyperion_tail_is_invariant_to_co_tenants() {
+        let t = &run()[0];
+        let p999_alone = parse_ns(&t.rows[0][4]);
+        let p999_crowded = parse_ns(&t.rows[2][4]);
+        assert_eq!(p999_alone, p999_crowded, "fabric isolation must hold");
+    }
+
+    #[test]
+    fn host_tail_inflates_with_co_tenants() {
+        let t = &run()[0];
+        let host_alone = parse_ns(&t.rows[3][4]);
+        let host_crowded = parse_ns(&t.rows[5][4]);
+        assert!(
+            host_crowded > host_alone * 5.0,
+            "shared CPU p99.9 must blow up: {host_alone} -> {host_crowded}"
+        );
+    }
+}

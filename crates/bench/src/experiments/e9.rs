@@ -1,0 +1,150 @@
+//! E9 — The Corfu shared log as a network-attached SSD service
+//! (paper §2.4): append throughput scaling with clients and stripe width,
+//! vs. a host-mediated log.
+
+use hyperion_baseline::host::HostServer;
+use hyperion_sim::time::Ns;
+use hyperion_storage::corfu::CorfuLog;
+
+use crate::table::{fmt_rate, Table};
+
+/// Appends per configuration.
+const APPENDS: u64 = 2_000;
+
+/// Entry payload size.
+const ENTRY: usize = 512;
+
+/// Runs E9.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E9: shared-log append throughput (512 B entries)",
+        &["configuration", "units", "appends/s", "tail after run"],
+    );
+    // Stripe-width sweep on the DPU-attached log: closed loop, one
+    // outstanding append per "client", clients = units for saturation.
+    for &units in &[1usize, 2, 4, 8] {
+        let mut log = CorfuLog::new(units, 1 << 16);
+        // `units` concurrent clients, each issuing its appends
+        // back-to-back; interleave round-robin at the same virtual time.
+        let mut client_time = vec![Ns::ZERO; units];
+        for i in 0..APPENDS {
+            let c = (i as usize) % units;
+            let (_, done) = log.append(&[7u8; ENTRY], client_time[c]).expect("append");
+            client_time[c] = done;
+        }
+        let makespan = client_time.iter().copied().max().unwrap_or(Ns::ZERO);
+        t.row(vec![
+            format!("hyperion x{units}-clients"),
+            units.to_string(),
+            fmt_rate(APPENDS as f64 / makespan.as_secs_f64()),
+            log.tail().to_string(),
+        ]);
+    }
+    // Host-mediated log: every append is a kernel write through the CPU.
+    let mut host = HostServer::new(1 << 20);
+    let mut now = Ns::ZERO;
+    for i in 0..APPENDS {
+        now = host
+            .kernel_write(i, vec![7u8; 4096], now)
+            .expect("kernel write");
+    }
+    t.row(vec![
+        "host-mediated".into(),
+        "1".into(),
+        fmt_rate(APPENDS as f64 / now.as_secs_f64()),
+        APPENDS.to_string(),
+    ]);
+    vec![t, replication_table()]
+}
+
+/// E9b: the fault-tolerance cost — chain replication halves effective
+/// append bandwidth but survives a unit failure with zero data loss.
+fn replication_table() -> Table {
+    let mut t = Table::new(
+        "E9b: chain replication cost and failure survival (4 units)",
+        &[
+            "replication",
+            "appends/s",
+            "entries lost after 1 unit failure",
+        ],
+    );
+    for replication in [1usize, 2] {
+        let mut log = CorfuLog::new_replicated(4, 1 << 16, replication);
+        let mut client_time = vec![Ns::ZERO; 4];
+        let n = 512u64;
+        for i in 0..n {
+            let c = (i as usize) % 4;
+            let (_, done) = log.append(&[7u8; ENTRY], client_time[c]).expect("append");
+            client_time[c] = done;
+        }
+        let makespan = client_time.iter().copied().max().unwrap_or(Ns::ZERO);
+        // Fail a unit and count unreadable entries.
+        log.fail_unit(1);
+        let mut lost = 0u64;
+        let mut now = makespan;
+        for pos in 0..n {
+            match log.read(pos, now) {
+                Ok((_, done)) => now = done,
+                Err(_) => lost += 1,
+            }
+        }
+        t.row(vec![
+            replication.to_string(),
+            fmt_rate(n as f64 / makespan.as_secs_f64()),
+            lost.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate_of(cell: &str) -> f64 {
+        let (num, unit) = cell.split_once(' ').unwrap();
+        let v: f64 = num.parse().unwrap();
+        match unit {
+            "Gop/s" => v * 1e9,
+            "Mop/s" => v * 1e6,
+            "Kop/s" => v * 1e3,
+            _ => v,
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_stripe_width() {
+        let t = &run()[0];
+        let one = rate_of(&t.rows[0][2]);
+        let four = rate_of(&t.rows[2][2]);
+        assert!(four > one * 2.0, "striping must scale: {one} -> {four}");
+    }
+
+    #[test]
+    fn all_tokens_are_written() {
+        let t = &run()[0];
+        for row in &t.rows[..4] {
+            assert_eq!(row[3], APPENDS.to_string());
+        }
+    }
+
+    #[test]
+    fn dpu_log_beats_host_mediated() {
+        let t = &run()[0];
+        let dpu4 = rate_of(&t.rows[2][2]);
+        let host = rate_of(&t.rows[4][2]);
+        assert!(dpu4 > host, "dpu {dpu4} vs host {host}");
+    }
+
+    #[test]
+    fn replication_trades_bandwidth_for_zero_loss() {
+        let t = &run()[1];
+        let r1_rate = rate_of(&t.rows[0][1]);
+        let r2_rate = rate_of(&t.rows[1][1]);
+        let r1_lost: u64 = t.rows[0][2].parse().unwrap();
+        let r2_lost: u64 = t.rows[1][2].parse().unwrap();
+        assert!(r2_rate < r1_rate, "chains cost bandwidth");
+        assert!(r1_lost > 0, "unreplicated entries are lost: {r1_lost}");
+        assert_eq!(r2_lost, 0, "replicated entries all survive");
+    }
+}

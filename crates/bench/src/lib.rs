@@ -1,0 +1,14 @@
+//! # hyperion-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the reproduction (see DESIGN.md
+//! §4 for the index). The [`experiments`] modules produce [`table::Table`]
+//! values; the `report` binary prints them and `cargo bench` runs the same
+//! code under Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

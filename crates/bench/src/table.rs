@@ -1,0 +1,128 @@
+//! Result tables: the unit of experiment output.
+//!
+//! Every experiment produces one or more [`Table`]s; the `report` binary
+//! prints them (markdown-style) and EXPERIMENTS.md records them next to
+//! the paper's corresponding claim.
+
+use std::fmt;
+
+/// One experiment output table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id + description (e.g. "E6: pointer chasing").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate().take(ncols) {
+                write!(f, " {:w$} |", cells.get(i).map(String::as_str).unwrap_or(""), w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a nanosecond count with a unit.
+pub fn fmt_ns(ns: u64) -> String {
+    hyperion_sim::time::Ns(ns).to_string()
+}
+
+/// Formats a ratio to two decimals with an `x` suffix.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats ops/second in engineering units.
+pub fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} Gop/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} Mop/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} Kop/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} op/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_shape() {
+        let mut t = Table::new("E0: demo", &["config", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-config".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("### E0: demo"));
+        assert!(s.contains("| config"));
+        assert!(s.contains("| long-config |"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(7.0), "7.00x");
+        assert_eq!(fmt_rate(2_000_000.0), "2.00 Mop/s");
+        assert_eq!(fmt_rate(500.0), "500.0 op/s");
+    }
+}

@@ -1,0 +1,332 @@
+//! Multi-DPU deployments: distributed CPU-free applications.
+//!
+//! Paper §2.4 (C1) contemplates "mixed distributed workloads where a mix
+//! of CPU servers and CPU-free Hyperion DPUs run in a distributed
+//! network", and §4 Q3 asks what client interface builds "composable
+//! service ecosystems of such standalone, passively disaggregated DPUs".
+//! This module implements the two patterns the paper cites:
+//!
+//! * **client-driven request routing** (MICA, ref 111): the client holds the
+//!   partition map and sends each request straight to the owning DPU —
+//!   shared-nothing, no coordinator on the data path;
+//! * a **cluster-wide shared log** (CORFU over network-attached SSDs,
+//!   refs 20 and 165): a global sequencer plus one write-once log unit per DPU,
+//!   striped by position, sealed collectively on reconfiguration.
+
+use hyperion_net::rpc::{MethodId, RpcChannel};
+use hyperion_net::transport::{Delivery, Endpoint, Transport};
+use hyperion_net::{NetError, Network};
+use hyperion_sim::time::Ns;
+use hyperion_storage::corfu::{CorfuError, LogEntry, LogUnit, Sequencer};
+
+use crate::dpu::HyperionDpu;
+use crate::services::{ServiceError, ServiceRequest, ServiceResponse, TableRegistry};
+
+/// A shared-nothing cluster of DPUs with client-side partitioning.
+#[derive(Debug)]
+pub struct DpuCluster {
+    dpus: Vec<HyperionDpu>,
+    registries: Vec<TableRegistry>,
+}
+
+/// Cluster errors.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A member DPU failed the request.
+    Service(ServiceError),
+    /// Network failure.
+    Net(NetError),
+    /// Log failure.
+    Log(CorfuError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Service(e) => write!(f, "service: {e}"),
+            ClusterError::Net(e) => write!(f, "net: {e}"),
+            ClusterError::Log(e) => write!(f, "log: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl DpuCluster {
+    /// Boots `n` DPUs at `now`; returns the cluster and the instant the
+    /// last member is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn boot(n: usize, auth_key: u64, now: Ns) -> (DpuCluster, Ns) {
+        assert!(n > 0, "a cluster needs at least one DPU");
+        let mut dpus = Vec::with_capacity(n);
+        let mut ready = now;
+        for _ in 0..n {
+            let mut dpu = HyperionDpu::assemble(auth_key);
+            // Members boot in parallel (each has its own board).
+            let r = dpu.boot(now).expect("boot");
+            ready = ready.max(r);
+            dpus.push(dpu);
+        }
+        let registries = (0..n).map(|_| TableRegistry::default()).collect();
+        (DpuCluster { dpus, registries }, ready)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// True if the cluster is empty (never: boot requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.dpus.is_empty()
+    }
+
+    /// The partition owner of `key` — the client-side routing function.
+    /// Stable hash so every client agrees without coordination.
+    pub fn owner_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.dpus.len()
+    }
+
+    /// Access a member.
+    pub fn dpu_mut(&mut self, i: usize) -> &mut HyperionDpu {
+        &mut self.dpus[i]
+    }
+
+    /// Serves `request` on the DPU owning `key` (local invocation; remote
+    /// clients wrap this with [`DpuCluster::remote_call`]).
+    pub fn serve_partitioned(
+        &mut self,
+        key: u64,
+        request: ServiceRequest,
+        now: Ns,
+    ) -> Result<(usize, ServiceResponse, Ns), ClusterError> {
+        let owner = self.owner_of(key);
+        let (resp, done) = self.dpus[owner]
+            .serve(&self.registries[owner], request, now)
+            .map_err(ClusterError::Service)?;
+        Ok((owner, resp, done))
+    }
+
+    /// A remote client call with client-driven routing: the request goes
+    /// straight from `client` to the owning DPU's endpoint over
+    /// `transport` (one hop, no proxy).
+    ///
+    /// `endpoints[i]` must be member `i`'s network endpoint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn remote_call(
+        &mut self,
+        net: &mut Network,
+        transport: Transport,
+        client: Endpoint,
+        endpoints: &[Endpoint],
+        key: u64,
+        request: ServiceRequest,
+        req_bytes: u64,
+        resp_bytes: u64,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Delivery), ClusterError> {
+        let owner = self.owner_of(key);
+        // Compute the server work by running the request locally at the
+        // (future) arrival time; the channel then prices the wire.
+        let mut ch = RpcChannel::new(client, endpoints[owner], transport);
+        let (resp, served) = {
+            let (r, done) = self.dpus[owner]
+                .serve(&self.registries[owner], request, now)
+                .map_err(ClusterError::Service)?;
+            (r, done)
+        };
+        let work = served - now;
+        let d = ch
+            .call(net, MethodId(10), now, req_bytes, resp_bytes, work)
+            .map_err(ClusterError::Net)?;
+        Ok((resp, d))
+    }
+}
+
+/// The cluster-wide shared log: a global sequencer striping positions
+/// over one write-once log unit per DPU site.
+#[derive(Debug)]
+pub struct ClusterLog {
+    sequencer: Sequencer,
+    units: Vec<LogUnit>,
+    epoch: u64,
+}
+
+impl ClusterLog {
+    /// Creates a log striped over `sites` units of `unit_lbas` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is zero.
+    pub fn new(sites: usize, unit_lbas: u64) -> ClusterLog {
+        assert!(sites > 0, "a cluster log needs at least one site");
+        ClusterLog {
+            sequencer: Sequencer::new(),
+            units: (0..sites).map(|_| LogUnit::new(unit_lbas)).collect(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Appends `data`: token from the global sequencer, then a direct
+    /// client write to the owning site's unit.
+    pub fn append(&mut self, data: &[u8], now: Ns) -> Result<(u64, Ns), CorfuError> {
+        let pos = self.sequencer.next_token();
+        let site = (pos % self.units.len() as u64) as usize;
+        let done = self.units[site].write(self.epoch, pos, data, now)?;
+        Ok((pos, done))
+    }
+
+    /// Reads a position from its owning site.
+    pub fn read(&mut self, pos: u64, now: Ns) -> Result<(LogEntry, Ns), CorfuError> {
+        let site = (pos % self.units.len() as u64) as usize;
+        self.units[site].read(self.epoch, pos, now)
+    }
+
+    /// Seals every site into a new epoch and rebuilds the tail — the
+    /// CORFU reconfiguration protocol run across the cluster.
+    pub fn reconfigure(&mut self) -> u64 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let tail = self
+            .units
+            .iter_mut()
+            .map(|u| u.seal(epoch))
+            .max()
+            .unwrap_or(0);
+        self.sequencer.reset_to(tail);
+        self.epoch
+    }
+
+    /// The next position to be assigned.
+    pub fn tail(&self) -> u64 {
+        self.sequencer.tail()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_net::transport::{EndpointKind, TransportKind};
+
+    const KEY: u64 = 0xC0FFEE;
+
+    #[test]
+    fn members_boot_in_parallel() {
+        let (cluster, ready) = DpuCluster::boot(4, KEY, Ns::ZERO);
+        assert_eq!(cluster.len(), 4);
+        // Parallel boot: the cluster is ready when one board is (all
+        // identical), not 4x later.
+        assert!(ready < Ns::from_millis(400), "ready {ready}");
+    }
+
+    #[test]
+    fn partitioning_is_stable_and_spread() {
+        let (cluster, _) = DpuCluster::boot(4, KEY, Ns::ZERO);
+        let mut counts = [0u32; 4];
+        for k in 0..4_000u64 {
+            let o = cluster.owner_of(k);
+            assert_eq!(o, cluster.owner_of(k), "stable");
+            counts[o] += 1;
+        }
+        for c in counts {
+            assert!((600..1_400).contains(&c), "imbalance: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn partitioned_kv_round_trips_across_members() {
+        let (mut cluster, t) = DpuCluster::boot(3, KEY, Ns::ZERO);
+        let mut owners_seen = std::collections::HashSet::new();
+        let mut now = t;
+        for k in 0..60u64 {
+            let (owner, _, done) = cluster
+                .serve_partitioned(k, ServiceRequest::KvPut { key: k, value: k * 2 }, now)
+                .expect("put");
+            owners_seen.insert(owner);
+            now = done;
+        }
+        assert_eq!(owners_seen.len(), 3, "keys must spread over all members");
+        for k in 0..60u64 {
+            let (_, resp, done) = cluster
+                .serve_partitioned(k, ServiceRequest::KvGet { key: k }, now)
+                .expect("get");
+            now = done;
+            let ServiceResponse::Value(v) = resp else {
+                panic!("expected value");
+            };
+            assert_eq!(v, Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn remote_routing_is_one_hop() {
+        let (mut cluster, t) = DpuCluster::boot(2, KEY, Ns::ZERO);
+        let mut net = Network::new();
+        let client = Endpoint::new(net.add_node(), EndpointKind::Kernel);
+        let endpoints: Vec<Endpoint> = (0..2)
+            .map(|_| Endpoint::new(net.add_node(), EndpointKind::Hardware))
+            .collect();
+        let tr = Transport::new(TransportKind::Udp);
+        let (_, d) = cluster
+            .remote_call(
+                &mut net,
+                tr,
+                client,
+                &endpoints,
+                42,
+                ServiceRequest::KvPut { key: 42, value: 1 },
+                32,
+                8,
+                t,
+            )
+            .expect("call");
+        assert_eq!(d.wire_rounds, 1, "client-driven routing: exactly one RTT");
+    }
+
+    #[test]
+    fn cluster_log_stripes_and_survives_reconfiguration() {
+        let mut log = ClusterLog::new(3, 1 << 14);
+        let mut t = Ns::ZERO;
+        for i in 0..9u64 {
+            let (pos, done) = log.append(format!("e{i}").as_bytes(), t).expect("append");
+            assert_eq!(pos, i);
+            t = done;
+        }
+        // Sequencer crash: tail rebuilt from sealed sites.
+        log.reconfigure();
+        assert_eq!(log.tail(), 9);
+        let (pos, _) = log.append(b"post", t).expect("append");
+        assert_eq!(pos, 9);
+        // Old entries still readable at the new epoch.
+        let (e, _) = log.read(4, t).expect("read");
+        assert_eq!(e, LogEntry::Data(bytes::Bytes::from_static(b"e4")));
+    }
+
+    #[test]
+    fn cluster_log_appends_scale_with_sites() {
+        let run = |sites: usize| -> Ns {
+            let mut log = ClusterLog::new(sites, 1 << 14);
+            let mut client_time = vec![Ns::ZERO; sites];
+            for i in 0..60u64 {
+                let c = (i as usize) % sites;
+                let (_, done) = log.append(&[1u8; 256], client_time[c]).expect("append");
+                client_time[c] = done;
+            }
+            client_time.into_iter().max().unwrap_or(Ns::ZERO)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four.0 * 3 < one.0,
+            "4 sites should be ~4x faster: {one} vs {four}"
+        );
+    }
+}

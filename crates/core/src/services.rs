@@ -1,0 +1,563 @@
+//! The DPU's RPC service surface.
+//!
+//! Paper §2.4: network-attached SSDs exporting "application-defined,
+//! high-level, fault-tolerant data structures and abstractions ... such as
+//! trees, lookup-tables, distributed/shared ordered logs, atomic writes
+//! with transactional interfaces", behind a Willow-style specializable RPC
+//! interface. Each request runs entirely on the DPU: the returned
+//! completion time is the *server work* a transport charges between
+//! request arrival and response departure — with no host CPU anywhere.
+//!
+//! `TreeNodeRead` exists for the baseline side of experiment E6: a
+//! client-driven pointer chase fetches one node per RPC, while
+//! `TreeLookup` does the whole traversal in one RPC.
+
+use bytes::Bytes;
+use hyperion_sim::time::Ns;
+use hyperion_storage::columnar::{self, ColumnBatch, FileMeta, Predicate, ScanStats};
+use hyperion_storage::corfu::LogEntry;
+
+use crate::dpu::{DpuError, HyperionDpu};
+
+/// A service request.
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// KV put (LSM-backed).
+    KvPut {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// KV get.
+    KvGet {
+        /// Key.
+        key: u64,
+    },
+    /// Insert into the exported B+ tree.
+    TreeInsert {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Full on-DPU B+ tree traversal (one RPC total).
+    TreeLookup {
+        /// Key.
+        key: u64,
+    },
+    /// Fetch one raw tree node (client-driven traversal building block).
+    TreeNodeRead {
+        /// Node LBA.
+        lba: u64,
+    },
+    /// Append to the shared log.
+    LogAppend {
+        /// Entry payload.
+        data: Bytes,
+    },
+    /// Read a log position.
+    LogRead {
+        /// Position.
+        position: u64,
+    },
+    /// Read a whole file by path through the on-DPU file system.
+    FileRead {
+        /// Absolute path.
+        path: String,
+    },
+    /// Scan a published columnar table.
+    ColumnarScan {
+        /// Table name (from [`HyperionDpu::publish_table`]).
+        table: String,
+        /// Projected columns.
+        projection: Vec<String>,
+        /// Optional pushed-down predicate.
+        predicate: Option<Predicate>,
+    },
+    /// Scan + aggregate in one request: only the scalar leaves the DPU
+    /// (the §2.3 processing pipeline).
+    ColumnarAggregate {
+        /// Table name.
+        table: String,
+        /// Column to aggregate.
+        column: String,
+        /// Aggregate function.
+        agg: hyperion_storage::compute::Agg,
+        /// Optional pushed-down predicate.
+        predicate: Option<Predicate>,
+    },
+    /// Store a key/value pair on the KV-SSD namespace (device-native KV).
+    KvSsdPut {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Look up a key on the KV-SSD namespace.
+    KvSsdGet {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+/// A service response.
+#[derive(Debug, Clone)]
+pub enum ServiceResponse {
+    /// Generic acknowledgement.
+    Ok,
+    /// Optional value (KV / tree lookups).
+    Value(Option<u64>),
+    /// Raw node bytes.
+    Node(Bytes),
+    /// Assigned log position.
+    Appended {
+        /// Log position.
+        position: u64,
+    },
+    /// Log entry.
+    Entry(LogEntry),
+    /// File contents.
+    File(Bytes),
+    /// Scan result with its statistics.
+    Scan {
+        /// Selected rows.
+        batch: ColumnBatch,
+        /// Row groups skipped/read and bytes touched.
+        stats: ScanStats,
+    },
+    /// A single aggregate scalar (plus scan statistics).
+    Aggregate {
+        /// The computed result.
+        result: hyperion_storage::compute::AggResult,
+        /// Row groups skipped/read and bytes touched.
+        stats: ScanStats,
+    },
+    /// KV-SSD value (None on miss).
+    KvValue(Option<Bytes>),
+}
+
+/// Service errors.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// DPU not booted.
+    Dpu(DpuError),
+    /// B+ tree failure.
+    Tree(hyperion_storage::btree::TreeError),
+    /// LSM failure.
+    Lsm(hyperion_storage::lsm::LsmError),
+    /// Log failure.
+    Log(hyperion_storage::corfu::CorfuError),
+    /// File system failure.
+    Fs(hyperion_storage::fs::FsError),
+    /// Columnar failure.
+    Columnar(hyperion_storage::columnar::ColumnarError),
+    /// Unknown published table.
+    NoSuchTable(String),
+    /// Block-layer failure.
+    Block(hyperion_storage::blockstore::BlockError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Dpu(e) => write!(f, "dpu: {e}"),
+            ServiceError::Tree(e) => write!(f, "btree: {e}"),
+            ServiceError::Lsm(e) => write!(f, "lsm: {e}"),
+            ServiceError::Log(e) => write!(f, "log: {e}"),
+            ServiceError::Fs(e) => write!(f, "fs: {e}"),
+            ServiceError::Columnar(e) => write!(f, "columnar: {e}"),
+            ServiceError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            ServiceError::Block(e) => write!(f, "block: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Published columnar tables (name → footer metadata).
+#[derive(Debug, Default)]
+pub struct TableRegistry {
+    tables: Vec<(String, FileMeta)>,
+}
+
+impl TableRegistry {
+    fn get(&self, name: &str) -> Option<&FileMeta> {
+        self.tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
+    }
+}
+
+impl HyperionDpu {
+    /// Publishes a columnar table on the structure volume; it becomes
+    /// scannable via [`ServiceRequest::ColumnarScan`].
+    pub fn publish_table(
+        &mut self,
+        registry: &mut TableRegistry,
+        name: impl Into<String>,
+        batch: &ColumnBatch,
+        rows_per_group: usize,
+        now: Ns,
+    ) -> Result<Ns, ServiceError> {
+        let (meta, t) = columnar::write_file(&mut self.blocks, batch, rows_per_group, now)
+            .map_err(ServiceError::Columnar)?;
+        registry.tables.push((name.into(), meta));
+        Ok(t)
+    }
+
+    /// Serves one request at `now`; returns the response and the instant
+    /// the DPU finishes the work.
+    pub fn serve(
+        &mut self,
+        registry: &TableRegistry,
+        request: ServiceRequest,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        self.require_ready().map_err(ServiceError::Dpu)?;
+        self.counters.bump("served");
+        match request {
+            ServiceRequest::KvPut { key, value } => {
+                let t = self
+                    .lsm
+                    .put(&mut self.blocks, key, value, now)
+                    .map_err(ServiceError::Lsm)?;
+                Ok((ServiceResponse::Ok, t))
+            }
+            ServiceRequest::KvGet { key } => {
+                let (v, t) = self
+                    .lsm
+                    .get(&mut self.blocks, key, now)
+                    .map_err(ServiceError::Lsm)?;
+                Ok((ServiceResponse::Value(v), t))
+            }
+            ServiceRequest::TreeInsert { key, value } => {
+                let tree = self.btree.as_mut().expect("boot created the tree");
+                let t = tree
+                    .insert(&mut self.blocks, key, value, now)
+                    .map_err(ServiceError::Tree)?;
+                Ok((ServiceResponse::Ok, t))
+            }
+            ServiceRequest::TreeLookup { key } => {
+                let tree = self.btree.as_ref().expect("boot created the tree");
+                let (v, t) = tree
+                    .get(&mut self.blocks, key, now)
+                    .map_err(ServiceError::Tree)?;
+                Ok((ServiceResponse::Value(v), t))
+            }
+            ServiceRequest::TreeNodeRead { lba } => {
+                let (data, t) = self
+                    .blocks
+                    .read(lba, 1, now)
+                    .map_err(ServiceError::Block)?;
+                Ok((ServiceResponse::Node(Bytes::from(data)), t))
+            }
+            ServiceRequest::LogAppend { data } => {
+                let (position, t) = self.log.append(&data, now).map_err(ServiceError::Log)?;
+                Ok((ServiceResponse::Appended { position }, t))
+            }
+            ServiceRequest::LogRead { position } => {
+                let (entry, t) = self.log.read(position, now).map_err(ServiceError::Log)?;
+                Ok((ServiceResponse::Entry(entry), t))
+            }
+            ServiceRequest::FileRead { path } => {
+                let fs = self.fs.as_ref().expect("boot formatted the fs");
+                let (data, t) = fs
+                    .read_file(&mut self.blocks, &path, now)
+                    .map_err(ServiceError::Fs)?;
+                Ok((ServiceResponse::File(Bytes::from(data)), t))
+            }
+            ServiceRequest::ColumnarScan {
+                table,
+                projection,
+                predicate,
+            } => {
+                let meta = registry
+                    .get(&table)
+                    .ok_or_else(|| ServiceError::NoSuchTable(table.clone()))?;
+                let proj: Vec<&str> = projection.iter().map(|s| s.as_str()).collect();
+                let (batch, stats, t) = columnar::scan(
+                    &mut self.blocks,
+                    meta,
+                    &proj,
+                    predicate.as_ref(),
+                    now,
+                )
+                .map_err(ServiceError::Columnar)?;
+                Ok((ServiceResponse::Scan { batch, stats }, t))
+            }
+            ServiceRequest::ColumnarAggregate {
+                table,
+                column,
+                agg,
+                predicate,
+            } => {
+                let meta = registry
+                    .get(&table)
+                    .ok_or_else(|| ServiceError::NoSuchTable(table.clone()))?;
+                let (batch, stats, t) = columnar::scan(
+                    &mut self.blocks,
+                    meta,
+                    &[column.as_str()],
+                    predicate.as_ref(),
+                    now,
+                )
+                .map_err(ServiceError::Columnar)?;
+                let result = hyperion_storage::compute::aggregate(&batch, &column, agg)
+                    .map_err(ServiceError::Columnar)?;
+                // The aggregation pass itself: one fabric pipeline sweep
+                // over the decoded values at memory bandwidth.
+                let sweep = hyperion_sim::serialization_delay(
+                    batch.num_rows() as u64 * 8,
+                    hyperion_fabric::params::HBM_BANDWIDTH_BPS,
+                );
+                Ok((ServiceResponse::Aggregate { result, stats }, t + sweep))
+            }
+            ServiceRequest::KvSsdPut { key, value } => {
+                let c = self
+                    .kvssd
+                    .submit(hyperion_nvme::device::Command::KvPut { key, value }, now)
+                    .map_err(|e| ServiceError::Block(
+                        hyperion_storage::blockstore::BlockError::Device(e.to_string()),
+                    ))?;
+                Ok((ServiceResponse::Ok, c.done))
+            }
+            ServiceRequest::KvSsdGet { key } => {
+                let c = self
+                    .kvssd
+                    .submit(hyperion_nvme::device::Command::KvGet { key }, now)
+                    .map_err(|e| ServiceError::Block(
+                        hyperion_storage::blockstore::BlockError::Device(e.to_string()),
+                    ))?;
+                let value = match c.response {
+                    hyperion_nvme::device::Response::Data(d) => Some(d),
+                    _ => None,
+                };
+                Ok((ServiceResponse::KvValue(value), c.done))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted() -> HyperionDpu {
+        let mut dpu = HyperionDpu::assemble(1);
+        dpu.boot(Ns::ZERO).unwrap();
+        dpu
+    }
+
+    #[test]
+    fn kv_service_round_trip() {
+        let mut dpu = booted();
+        let reg = TableRegistry::default();
+        let t = dpu.booted_at();
+        let (_, t) = dpu
+            .serve(&reg, ServiceRequest::KvPut { key: 5, value: 50 }, t)
+            .unwrap();
+        let (resp, _) = dpu.serve(&reg, ServiceRequest::KvGet { key: 5 }, t).unwrap();
+        let ServiceResponse::Value(v) = resp else {
+            panic!("expected value");
+        };
+        assert_eq!(v, Some(50));
+    }
+
+    #[test]
+    fn tree_lookup_and_node_read_agree() {
+        let mut dpu = booted();
+        let reg = TableRegistry::default();
+        let mut t = dpu.booted_at();
+        for k in 0..500u64 {
+            let (_, t2) = dpu
+                .serve(&reg, ServiceRequest::TreeInsert { key: k, value: k * 3 }, t)
+                .unwrap();
+            t = t2;
+        }
+        let (resp, _) = dpu
+            .serve(&reg, ServiceRequest::TreeLookup { key: 123 }, t)
+            .unwrap();
+        let ServiceResponse::Value(v) = resp else {
+            panic!("expected value");
+        };
+        assert_eq!(v, Some(369));
+        // Client-driven path: fetch the root node raw.
+        let root = dpu.btree.as_ref().unwrap().root_lba();
+        let (resp, _) = dpu
+            .serve(&reg, ServiceRequest::TreeNodeRead { lba: root }, t)
+            .unwrap();
+        let ServiceResponse::Node(data) = resp else {
+            panic!("expected node");
+        };
+        assert_eq!(data.len(), 4096);
+    }
+
+    #[test]
+    fn log_service_appends_and_reads() {
+        let mut dpu = booted();
+        let reg = TableRegistry::default();
+        let t = dpu.booted_at();
+        let (resp, t) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::LogAppend {
+                    data: Bytes::from_static(b"entry"),
+                },
+                t,
+            )
+            .unwrap();
+        let ServiceResponse::Appended { position } = resp else {
+            panic!("expected position");
+        };
+        let (resp, _) = dpu
+            .serve(&reg, ServiceRequest::LogRead { position }, t)
+            .unwrap();
+        let ServiceResponse::Entry(LogEntry::Data(d)) = resp else {
+            panic!("expected entry");
+        };
+        assert_eq!(d.as_ref(), b"entry");
+    }
+
+    #[test]
+    fn file_service_reads_fs_files() {
+        let mut dpu = booted();
+        let reg = TableRegistry::default();
+        let mut t = dpu.booted_at();
+        {
+            let fs = dpu.fs.as_mut().unwrap();
+            let (_, t2) = fs
+                .create_file(&mut dpu.blocks, "/hello", b"cpu-free", t)
+                .unwrap();
+            t = t2;
+        }
+        let (resp, _) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::FileRead {
+                    path: "/hello".into(),
+                },
+                t,
+            )
+            .unwrap();
+        let ServiceResponse::File(data) = resp else {
+            panic!("expected file");
+        };
+        assert_eq!(data.as_ref(), b"cpu-free");
+    }
+
+    #[test]
+    fn kvssd_service_round_trips() {
+        let mut dpu = booted();
+        let reg = TableRegistry::default();
+        let t = dpu.booted_at();
+        let (_, t) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::KvSsdPut {
+                    key: b"user:7".to_vec(),
+                    value: Bytes::from_static(b"profile-bytes"),
+                },
+                t,
+            )
+            .unwrap();
+        let (resp, _) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::KvSsdGet {
+                    key: b"user:7".to_vec(),
+                },
+                t,
+            )
+            .unwrap();
+        let ServiceResponse::KvValue(v) = resp else {
+            panic!("expected kv value");
+        };
+        assert_eq!(v, Some(Bytes::from_static(b"profile-bytes")));
+        let (resp, _) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::KvSsdGet {
+                    key: b"missing".to_vec(),
+                },
+                t,
+            )
+            .unwrap();
+        let ServiceResponse::KvValue(v) = resp else {
+            panic!("expected kv value");
+        };
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn columnar_aggregate_returns_only_a_scalar() {
+        let mut dpu = booted();
+        let mut reg = TableRegistry::default();
+        let batch = ColumnBatch::new(
+            vec!["k".into(), "v".into()],
+            vec![(0..1000u64).collect(), (0..1000u64).collect()],
+        )
+        .unwrap();
+        let t = dpu
+            .publish_table(&mut reg, "agg", &batch, 250, dpu.booted_at())
+            .unwrap();
+        let (resp, _) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::ColumnarAggregate {
+                    table: "agg".into(),
+                    column: "v".into(),
+                    agg: hyperion_storage::compute::Agg::Sum,
+                    predicate: Some(Predicate::between("v", 0, 99)),
+                },
+                t,
+            )
+            .unwrap();
+        let ServiceResponse::Aggregate { result, stats } = resp else {
+            panic!("expected aggregate");
+        };
+        assert_eq!(result.value, (0..100u64).sum::<u64>());
+        assert_eq!(stats.groups_skipped, 3);
+    }
+
+    #[test]
+    fn columnar_service_scans_published_tables() {
+        let mut dpu = booted();
+        let mut reg = TableRegistry::default();
+        let batch = ColumnBatch::new(
+            vec!["k".into(), "v".into()],
+            vec![(0..1000u64).collect(), (0..1000u64).map(|x| x * 2).collect()],
+        )
+        .unwrap();
+        let t = dpu
+            .publish_table(&mut reg, "sales", &batch, 250, dpu.booted_at())
+            .unwrap();
+        let (resp, _) = dpu
+            .serve(
+                &reg,
+                ServiceRequest::ColumnarScan {
+                    table: "sales".into(),
+                    projection: vec!["v".into()],
+                    predicate: Some(Predicate::between("k", 100, 199)),
+                },
+                t,
+            )
+            .unwrap();
+        let ServiceResponse::Scan { batch, stats } = resp else {
+            panic!("expected scan");
+        };
+        assert_eq!(batch.num_rows(), 100);
+        assert!(stats.groups_skipped >= 2);
+        let unknown = dpu.serve(
+            &reg,
+            ServiceRequest::ColumnarScan {
+                table: "missing".into(),
+                projection: vec![],
+                predicate: None,
+            },
+            t,
+        );
+        assert!(matches!(unknown, Err(ServiceError::NoSuchTable(_))));
+    }
+}

@@ -1,0 +1,522 @@
+//! A small eBPF assembler.
+//!
+//! The paper's toolchain generates eBPF from clang/LLVM frontends (§2.2);
+//! in this reproduction, programs are written in a conventional assembly
+//! syntax instead, which keeps workloads readable and the toolchain
+//! self-contained. Two-pass assembly with labels:
+//!
+//! ```text
+//! ; drop packets shorter than 20 bytes
+//!     jlt r2, 20, drop
+//!     ldxb r0, [r1+9]      ; protocol byte
+//!     exit
+//! drop:
+//!     mov r0, 0
+//!     exit
+//! ```
+//!
+//! Supported mnemonics: `mov|add|sub|mul|div|mod|or|and|xor|lsh|rsh|arsh`
+//! (64-bit; append `32` for 32-bit forms), `neg`, `lddw`,
+//! `ldxb|ldxh|ldxw|ldxdw`, `stxb|stxh|stxw|stxdw`, `stb|sth|stw|stdw`,
+//! `ja`, `jeq|jne|jgt|jge|jlt|jle|jsgt|jsge|jslt|jsle|jset` (append `32`
+//! for the JMP32 forms; targets are labels or numeric `+N`/`-N` offsets),
+//! endianness conversions `be16|be32|be64|le16|le32|le64`, atomics
+//! `aadd|aor|aand|axor` with a `32`/`64` width suffix and optional `f`
+//! fetch suffix plus `axchg32|axchg64|acmpxchg32|acmpxchg64`, `call`
+//! (numeric or named helper), `exit`.
+
+use std::collections::HashMap;
+
+use crate::insn::{self, class, op, size, src, Insn};
+use crate::program::Program;
+use crate::vm::helper;
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles `source` into a [`Program`] with the given name and declared
+/// minimum context length.
+pub fn assemble(
+    name: impl Into<String>,
+    source: &str,
+    ctx_min_len: u64,
+) -> Result<Program, AsmError> {
+    // Pass 1: label slot offsets.
+    let mut labels: HashMap<&str, usize> = HashMap::new();
+    let mut slot = 0usize;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if labels.insert(label, slot).is_some() {
+                return Err(err(lineno + 1, format!("duplicate label {label}")));
+            }
+            continue;
+        }
+        let mnemonic = line.split_whitespace().next().unwrap_or("");
+        slot += if mnemonic == "lddw" { 2 } else { 1 };
+    }
+    // Pass 2: emit.
+    let mut insns: Vec<Insn> = Vec::with_capacity(slot);
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip(raw);
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        emit(line, lineno, &labels, &mut insns)?;
+    }
+    Ok(Program::new(name, insns, ctx_min_len))
+}
+
+fn strip(raw: &str) -> &str {
+    let no_comment = raw.split(';').next().unwrap_or("");
+    no_comment.trim()
+}
+
+fn emit(
+    line: &str,
+    lineno: usize,
+    labels: &HashMap<&str, usize>,
+    out: &mut Vec<Insn>,
+) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let here = out.len();
+    let resolve = |label: &str| -> Result<i16, AsmError> {
+        // Numeric offsets (`+3` / `-2`) are accepted alongside labels,
+        // which makes disassembler output re-assemblable.
+        if label.starts_with('+') || label.starts_with('-') {
+            if let Ok(n) = label.parse::<i16>() {
+                return Ok(n);
+            }
+        }
+        let target = *labels
+            .get(label)
+            .ok_or_else(|| err(lineno, format!("unknown label {label}")))?;
+        let delta = target as i64 - (here as i64 + 1);
+        i16::try_from(delta).map_err(|_| err(lineno, "jump offset overflow"))
+    };
+
+    // ALU mnemonics, 64- and 32-bit.
+    let alu_table = [
+        ("mov", op::MOV),
+        ("add", op::ADD),
+        ("sub", op::SUB),
+        ("mul", op::MUL),
+        ("div", op::DIV),
+        ("mod", op::MOD),
+        ("or", op::OR),
+        ("and", op::AND),
+        ("xor", op::XOR),
+        ("lsh", op::LSH),
+        ("rsh", op::RSH),
+        ("arsh", op::ARSH),
+    ];
+    for (m, operation) in alu_table {
+        let (is_match, is64) = if mnemonic == m {
+            (true, true)
+        } else if mnemonic.strip_suffix("32") == Some(m) {
+            (true, false)
+        } else {
+            (false, false)
+        };
+        if is_match {
+            let [a, b] = two_args(&args, lineno)?;
+            let dst = reg(a, lineno)?;
+            let cls = if is64 { class::ALU64 } else { class::ALU32 };
+            let insn = match reg(b, lineno) {
+                Ok(s) => Insn {
+                    op: cls | operation | src::X,
+                    dst,
+                    src: s,
+                    off: 0,
+                    imm: 0,
+                },
+                Err(_) => Insn {
+                    op: cls | operation | src::K,
+                    dst,
+                    src: 0,
+                    off: 0,
+                    imm: imm32(b, lineno)?,
+                },
+            };
+            out.push(insn);
+            return Ok(());
+        }
+    }
+
+    match mnemonic {
+        "neg" => {
+            let [a] = one_arg(&args, lineno)?;
+            out.push(Insn {
+                op: class::ALU64 | op::NEG,
+                dst: reg(a, lineno)?,
+                src: 0,
+                off: 0,
+                imm: 0,
+            });
+        }
+        "lddw" => {
+            let [a, b] = two_args(&args, lineno)?;
+            let value = imm64(b, lineno)?;
+            let pair = insn::lddw(reg(a, lineno)?, value);
+            out.extend_from_slice(&pair);
+        }
+        "ldxb" | "ldxh" | "ldxw" | "ldxdw" => {
+            let [a, b] = two_args(&args, lineno)?;
+            let (base, off) = mem_operand(b, lineno)?;
+            out.push(insn::ldx(width_suffix(mnemonic), reg(a, lineno)?, base, off));
+        }
+        "stxb" | "stxh" | "stxw" | "stxdw" => {
+            let [a, b] = two_args(&args, lineno)?;
+            let (base, off) = mem_operand(a, lineno)?;
+            out.push(insn::stx(width_suffix(mnemonic), base, reg(b, lineno)?, off));
+        }
+        m if m.starts_with("aadd")
+            || m.starts_with("aor")
+            || m.starts_with("aand")
+            || m.starts_with("axor")
+            || m.starts_with("axchg")
+            || m.starts_with("acmpxchg") =>
+        {
+            use crate::insn::atomic;
+            let [a, b] = two_args(&args, lineno)?;
+            let (base_m, fetch) = match m.strip_suffix('f') {
+                Some(stripped) => (stripped, true),
+                None => (m, false),
+            };
+            let (name, width_str) = base_m.split_at(base_m.len() - 2);
+            let sz = match width_str {
+                "32" => size::W,
+                "64" => size::DW,
+                _ => return Err(err(lineno, format!("bad atomic width in {m}"))),
+            };
+            let aop = match name {
+                "aadd" => atomic::ADD | if fetch { atomic::FETCH } else { 0 },
+                "aor" => atomic::OR | if fetch { atomic::FETCH } else { 0 },
+                "aand" => atomic::AND | if fetch { atomic::FETCH } else { 0 },
+                "axor" => atomic::XOR | if fetch { atomic::FETCH } else { 0 },
+                "axchg" => atomic::XCHG,
+                "acmpxchg" => atomic::CMPXCHG,
+                other => return Err(err(lineno, format!("unknown atomic {other}"))),
+            };
+            let (base, off) = mem_operand(a, lineno)?;
+            out.push(insn::atomic_op(sz, base, reg(b, lineno)?, off, aop));
+        }
+        "stb" | "sth" | "stw" | "stdw" => {
+            let [a, b] = two_args(&args, lineno)?;
+            let (base, off) = mem_operand(a, lineno)?;
+            out.push(insn::st_imm(
+                width_suffix(mnemonic),
+                base,
+                off,
+                imm32(b, lineno)?,
+            ));
+        }
+        "ja" => {
+            let [a] = one_arg(&args, lineno)?;
+            out.push(insn::ja(resolve(a)?));
+        }
+        "be16" | "be32" | "be64" | "le16" | "le32" | "le64" => {
+            let [a] = one_arg(&args, lineno)?;
+            let bits: i32 = mnemonic[2..].parse().expect("suffix is numeric");
+            let dst = reg(a, lineno)?;
+            out.push(if mnemonic.starts_with("be") {
+                insn::to_be(dst, bits)
+            } else {
+                insn::to_le(dst, bits)
+            });
+        }
+        "jeq" | "jne" | "jgt" | "jge" | "jlt" | "jle" | "jsgt" | "jsge" | "jslt" | "jsle"
+        | "jset" | "jeq32" | "jne32" | "jgt32" | "jge32" | "jlt32" | "jle32" | "jsgt32"
+        | "jsge32" | "jslt32" | "jsle32" | "jset32" => {
+            let [a, b, c] = three_args(&args, lineno)?;
+            let (base, is32) = match mnemonic.strip_suffix("32") {
+                Some(b) => (b, true),
+                None => (mnemonic, false),
+            };
+            let cond = match base {
+                "jeq" => op::JEQ,
+                "jne" => op::JNE,
+                "jgt" => op::JGT,
+                "jge" => op::JGE,
+                "jlt" => op::JLT,
+                "jle" => op::JLE,
+                "jsgt" => op::JSGT,
+                "jsge" => op::JSGE,
+                "jslt" => op::JSLT,
+                "jsle" => op::JSLE,
+                _ => op::JSET,
+            };
+            let dst = reg(a, lineno)?;
+            let off = resolve(c)?;
+            let insn = match (reg(b, lineno), is32) {
+                (Ok(s), false) => insn::jmp_reg(cond, dst, s, off),
+                (Ok(s), true) => insn::jmp32_reg(cond, dst, s, off),
+                (Err(_), false) => insn::jmp_imm(cond, dst, imm32(b, lineno)?, off),
+                (Err(_), true) => insn::jmp32_imm(cond, dst, imm32(b, lineno)?, off),
+            };
+            out.push(insn);
+        }
+        "call" => {
+            let [a] = one_arg(&args, lineno)?;
+            let id = match a {
+                "map_lookup" => helper::MAP_LOOKUP,
+                "map_update" => helper::MAP_UPDATE,
+                "map_delete" => helper::MAP_DELETE,
+                "map_contains" => helper::MAP_CONTAINS,
+                "checksum" => helper::CHECKSUM,
+                "now" => helper::NOW,
+                "trace" => helper::TRACE,
+                other => imm32(other, lineno)?,
+            };
+            out.push(insn::call(id));
+        }
+        "exit" => out.push(insn::exit()),
+        other => return Err(err(lineno, format!("unknown mnemonic {other}"))),
+    }
+    Ok(())
+}
+
+fn width_suffix(mnemonic: &str) -> u8 {
+    if mnemonic.ends_with("dw") {
+        size::DW
+    } else if mnemonic.ends_with('w') {
+        size::W
+    } else if mnemonic.ends_with('h') {
+        size::H
+    } else {
+        size::B
+    }
+}
+
+fn one_arg<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 1], AsmError> {
+    match args {
+        [a] => Ok([a]),
+        _ => Err(err(line, format!("expected 1 operand, got {}", args.len()))),
+    }
+}
+
+fn two_args<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 2], AsmError> {
+    match args {
+        [a, b] => Ok([a, b]),
+        _ => Err(err(line, format!("expected 2 operands, got {}", args.len()))),
+    }
+}
+
+fn three_args<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 3], AsmError> {
+    match args {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err(err(line, format!("expected 3 operands, got {}", args.len()))),
+    }
+}
+
+fn reg(token: &str, line: usize) -> Result<u8, AsmError> {
+    let body = token
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got {token}")))?;
+    let n: u8 = body
+        .parse()
+        .map_err(|_| err(line, format!("bad register {token}")))?;
+    if n > 10 {
+        return Err(err(line, format!("register out of range: {token}")));
+    }
+    Ok(n)
+}
+
+fn imm64(token: &str, line: usize) -> Result<u64, AsmError> {
+    let (neg, body) = match token.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate {token}")))?;
+    Ok(if neg { (value as i64).wrapping_neg() as u64 } else { value })
+}
+
+fn imm32(token: &str, line: usize) -> Result<i32, AsmError> {
+    let v = imm64(token, line)? as i64;
+    if v > u32::MAX as i64 || v < i32::MIN as i64 {
+        return Err(err(line, format!("immediate out of 32-bit range: {token}")));
+    }
+    Ok(v as u32 as i32)
+}
+
+/// Parses `[rN+off]` / `[rN-off]` / `[rN]`.
+fn mem_operand(token: &str, line: usize) -> Result<(u8, i16), AsmError> {
+    let inner = token
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+off], got {token}")))?;
+    let (reg_part, off): (&str, i16) = if let Some(i) = inner.find(['+', '-']) {
+        let sign = if inner.as_bytes()[i] == b'-' { -1i32 } else { 1 };
+        let n: i32 = inner[i + 1..]
+            .trim()
+            .parse()
+            .map_err(|_| err(line, format!("bad offset in {token}")))?;
+        let off = i16::try_from(sign * n).map_err(|_| err(line, "offset overflow"))?;
+        (inner[..i].trim(), off)
+    } else {
+        (inner.trim(), 0)
+    };
+    Ok((reg(reg_part, line)?, off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Vm;
+
+    #[test]
+    fn assembles_and_runs_mov_exit() {
+        let p = assemble("t", "mov r0, 42\nexit", 0).unwrap();
+        let r = Vm::new().run(&p, &mut []).unwrap();
+        assert_eq!(r.ret, 42);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let src = r"
+            ; return 1 if ctx len >= 20 else 0
+            jge r2, 20, big
+            mov r0, 0
+            exit
+        big:
+            mov r0, 1
+            exit
+        ";
+        let p = assemble("t", src, 0).unwrap();
+        assert_eq!(Vm::new().run(&p, &mut [0u8; 32]).unwrap().ret, 1);
+        assert_eq!(Vm::new().run(&p, &mut [0u8; 8]).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let src = r"
+            ldxh r0, [r1+2]
+            stxh [r1+4], r0
+            exit
+        ";
+        let p = assemble("t", src, 8).unwrap();
+        let mut ctx = [0u8, 0, 0x34, 0x12, 0, 0, 0, 0];
+        let r = Vm::new().run(&p, &mut ctx).unwrap();
+        assert_eq!(r.ret, 0x1234);
+        assert_eq!(&ctx[4..6], &[0x34, 0x12]);
+    }
+
+    #[test]
+    fn negative_offsets_and_stack() {
+        let src = r"
+            mov r3, 99
+            stxdw [r10-8], r3
+            ldxdw r0, [r10-8]
+            exit
+        ";
+        let p = assemble("t", src, 0).unwrap();
+        assert_eq!(Vm::new().run(&p, &mut []).unwrap().ret, 99);
+    }
+
+    #[test]
+    fn lddw_and_hex_immediates() {
+        let p = assemble("t", "lddw r0, 0xDEADBEEFCAFE\nexit", 0).unwrap();
+        assert_eq!(p.insns.len(), 3);
+        assert_eq!(Vm::new().run(&p, &mut []).unwrap().ret, 0xDEAD_BEEF_CAFE);
+    }
+
+    #[test]
+    fn named_helpers() {
+        let src = r"
+            mov r1, 7
+            call trace
+            mov r0, 0
+            exit
+        ";
+        let p = assemble("t", src, 0).unwrap();
+        let mut vm = Vm::new();
+        vm.run(&p, &mut []).unwrap();
+        assert_eq!(vm.trace, vec![7]);
+    }
+
+    #[test]
+    fn register_vs_immediate_forms() {
+        let src = r"
+            mov r1, 5
+            mov r2, 3
+            mov r0, r1
+            add r0, r2
+            add r0, 10
+            exit
+        ";
+        let p = assemble("t", src, 0).unwrap();
+        assert_eq!(Vm::new().run(&p, &mut []).unwrap().ret, 18);
+    }
+
+    #[test]
+    fn alu32_suffix() {
+        let src = r"
+            lddw r0, 0xFFFFFFFF00000001
+            add32 r0, 1
+            exit
+        ";
+        let p = assemble("t", src, 0).unwrap();
+        assert_eq!(Vm::new().run(&p, &mut []).unwrap().ret, 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("t", "mov r0, 0\nbogus r1\nexit", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("t", "ja nowhere\nexit", 0).unwrap_err();
+        assert!(e.message.contains("unknown label"));
+        let e = assemble("t", "mov r11, 0\nexit", 0).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = assemble("t", "x:\nmov r0, 0\nx:\nexit", 0).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn negative_immediates() {
+        let p = assemble("t", "mov r0, -5\nexit", 0).unwrap();
+        assert_eq!(Vm::new().run(&p, &mut []).unwrap().ret, (-5i64) as u64);
+    }
+}

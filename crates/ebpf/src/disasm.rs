@@ -1,0 +1,214 @@
+//! Disassembler: renders programs back into the assembler's syntax.
+
+use crate::insn::{class, op, size, src, Insn};
+use crate::program::Program;
+
+fn alu_name(operation: u8) -> &'static str {
+    match operation {
+        op::ADD => "add",
+        op::SUB => "sub",
+        op::MUL => "mul",
+        op::DIV => "div",
+        op::MOD => "mod",
+        op::OR => "or",
+        op::AND => "and",
+        op::XOR => "xor",
+        op::LSH => "lsh",
+        op::RSH => "rsh",
+        op::ARSH => "arsh",
+        op::MOV => "mov",
+        op::NEG => "neg",
+        _ => "alu?",
+    }
+}
+
+fn jmp_name(cond: u8) -> &'static str {
+    match cond {
+        op::JA => "ja",
+        op::JEQ => "jeq",
+        op::JNE => "jne",
+        op::JGT => "jgt",
+        op::JGE => "jge",
+        op::JLT => "jlt",
+        op::JLE => "jle",
+        op::JSGT => "jsgt",
+        op::JSGE => "jsge",
+        op::JSLT => "jslt",
+        op::JSLE => "jsle",
+        op::JSET => "jset",
+        _ => "jmp?",
+    }
+}
+
+fn width_name(opbyte: u8) -> &'static str {
+    match opbyte & 0x18 {
+        size::B => "b",
+        size::H => "h",
+        size::W => "w",
+        _ => "dw",
+    }
+}
+
+/// Renders one instruction (without lddw pairing).
+fn disasm_one(insn: Insn, next: Option<Insn>) -> (String, bool) {
+    match insn.class() {
+        class::ALU64 | class::ALU32 => {
+            let suffix = if insn.class() == class::ALU32 { "32" } else { "" };
+            if insn.op & 0xf0 == op::END {
+                let dir = if insn.op & src::X != 0 { "be" } else { "le" };
+                return (format!("{dir}{} r{}", insn.imm, insn.dst), false);
+            }
+            let name = alu_name(insn.op & 0xf0);
+            if insn.op & 0xf0 == op::NEG {
+                (format!("{name}{suffix} r{}", insn.dst), false)
+            } else if insn.op & src::X != 0 {
+                (format!("{name}{suffix} r{}, r{}", insn.dst, insn.src), false)
+            } else {
+                (format!("{name}{suffix} r{}, {}", insn.dst, insn.imm), false)
+            }
+        }
+        class::LD if insn.is_lddw() => {
+            let hi = next.map(|n| n.imm as u32 as u64).unwrap_or(0);
+            let value = (insn.imm as u32 as u64) | (hi << 32);
+            (format!("lddw r{}, {:#x}", insn.dst, value), true)
+        }
+        class::LDX => (
+            format!(
+                "ldx{} r{}, [r{}{:+}]",
+                width_name(insn.op),
+                insn.dst,
+                insn.src,
+                insn.off
+            ),
+            false,
+        ),
+        class::STX if insn.op & 0xe0 == crate::insn::mode::ATOMIC => {
+            use crate::insn::atomic;
+            let width = if insn.op & 0x18 == size::W { "32" } else { "64" };
+            let name = if insn.imm == atomic::XCHG {
+                format!("axchg{width}")
+            } else if insn.imm == atomic::CMPXCHG {
+                format!("acmpxchg{width}")
+            } else {
+                let fetch = if insn.imm & atomic::FETCH != 0 { "f" } else { "" };
+                let base = match insn.imm & !atomic::FETCH {
+                    atomic::ADD => "aadd",
+                    atomic::OR => "aor",
+                    atomic::AND => "aand",
+                    atomic::XOR => "axor",
+                    _ => "atomic?",
+                };
+                format!("{base}{width}{fetch}")
+            };
+            (
+                format!("{name} [r{}{:+}], r{}", insn.dst, insn.off, insn.src),
+                false,
+            )
+        }
+        class::STX => (
+            format!(
+                "stx{} [r{}{:+}], r{}",
+                width_name(insn.op),
+                insn.dst,
+                insn.off,
+                insn.src
+            ),
+            false,
+        ),
+        class::ST => (
+            format!(
+                "st{} [r{}{:+}], {}",
+                width_name(insn.op),
+                insn.dst,
+                insn.off,
+                insn.imm
+            ),
+            false,
+        ),
+        class::JMP | class::JMP32 => {
+            let suffix = if insn.class() == class::JMP32 { "32" } else { "" };
+            if insn.is_exit() {
+                ("exit".to_string(), false)
+            } else if insn.is_call() {
+                (format!("call {}", insn.imm), false)
+            } else {
+                let cond = insn.op & 0xf0;
+                if cond == op::JA {
+                    (format!("ja {:+}", insn.off), false)
+                } else if insn.op & src::X != 0 {
+                    (
+                        format!(
+                            "{}{suffix} r{}, r{}, {:+}",
+                            jmp_name(cond),
+                            insn.dst,
+                            insn.src,
+                            insn.off
+                        ),
+                        false,
+                    )
+                } else {
+                    (
+                        format!(
+                            "{}{suffix} r{}, {}, {:+}",
+                            jmp_name(cond),
+                            insn.dst,
+                            insn.imm,
+                            insn.off
+                        ),
+                        false,
+                    )
+                }
+            }
+        }
+        _ => (format!("; unknown {insn}"), false),
+    }
+}
+
+/// Disassembles a whole program, one instruction per line, with slot
+/// indices.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < program.insns.len() {
+        let insn = program.insns[i];
+        let (text, wide) = disasm_one(insn, program.insns.get(i + 1).copied());
+        out.push_str(&format!("{i:4}: {text}\n"));
+        i += if wide { 2 } else { 1 };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn round_trips_through_assembler_semantics() {
+        let src = r"
+            mov r0, 7
+            add r0, r2
+            ldxw r3, [r1+4]
+            stxdw [r10-8], r3
+            jne r0, 0, out
+            neg r0
+        out:
+            exit
+        ";
+        let p = assemble("t", src, 8).unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("mov r0, 7"));
+        assert!(text.contains("ldxw r3, [r1+4]"));
+        assert!(text.contains("stxdw [r10-8], r3"));
+        assert!(text.contains("jne r0, 0, +1"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn lddw_renders_as_one_line() {
+        let p = assemble("t", "lddw r5, 0xABCD\nexit", 0).unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("lddw r5, 0xabcd"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! The eBPF instruction set: encoding, decoding, and builder helpers.
+//!
+//! Encoding follows the Linux/eBPF ABI exactly (8-byte instructions with
+//! `op:8 dst:4 src:4 off:16 imm:32`; 64-bit immediates occupy two slots),
+//! so programs round-trip to the standard byte format. The paper (§2.2)
+//! picks eBPF as the accelerator-independent IR precisely because the ISA
+//! is small and verifiable; this module is that ISA.
+
+use std::fmt;
+
+/// Instruction class mask and classes.
+pub mod class {
+    /// Class bits mask.
+    pub const MASK: u8 = 0x07;
+    /// Load from immediate (LD).
+    pub const LD: u8 = 0x00;
+    /// Load from register memory (LDX).
+    pub const LDX: u8 = 0x01;
+    /// Store immediate (ST).
+    pub const ST: u8 = 0x02;
+    /// Store from register (STX).
+    pub const STX: u8 = 0x03;
+    /// 32-bit ALU.
+    pub const ALU32: u8 = 0x04;
+    /// 64-bit jumps.
+    pub const JMP: u8 = 0x05;
+    /// 32-bit jumps.
+    pub const JMP32: u8 = 0x06;
+    /// 64-bit ALU.
+    pub const ALU64: u8 = 0x07;
+}
+
+/// ALU/JMP operation bits (op & 0xf0).
+pub mod op {
+    /// Addition.
+    pub const ADD: u8 = 0x00;
+    /// Subtraction.
+    pub const SUB: u8 = 0x10;
+    /// Multiplication.
+    pub const MUL: u8 = 0x20;
+    /// Unsigned division.
+    pub const DIV: u8 = 0x30;
+    /// Bitwise or.
+    pub const OR: u8 = 0x40;
+    /// Bitwise and.
+    pub const AND: u8 = 0x50;
+    /// Left shift.
+    pub const LSH: u8 = 0x60;
+    /// Logical right shift.
+    pub const RSH: u8 = 0x70;
+    /// Negation.
+    pub const NEG: u8 = 0x80;
+    /// Unsigned modulo.
+    pub const MOD: u8 = 0x90;
+    /// Bitwise xor.
+    pub const XOR: u8 = 0xa0;
+    /// Move.
+    pub const MOV: u8 = 0xb0;
+    /// Arithmetic right shift.
+    pub const ARSH: u8 = 0xc0;
+    /// Endianness conversion (ALU class; imm = 16/32/64, src bit selects
+    /// to-LE (K) vs to-BE (X)).
+    pub const END: u8 = 0xd0;
+
+    /// Unconditional jump.
+    pub const JA: u8 = 0x00;
+    /// Jump if equal.
+    pub const JEQ: u8 = 0x10;
+    /// Jump if unsigned greater.
+    pub const JGT: u8 = 0x20;
+    /// Jump if unsigned greater-or-equal.
+    pub const JGE: u8 = 0x30;
+    /// Jump if bits set.
+    pub const JSET: u8 = 0x40;
+    /// Jump if not equal.
+    pub const JNE: u8 = 0x50;
+    /// Jump if signed greater.
+    pub const JSGT: u8 = 0x60;
+    /// Jump if signed greater-or-equal.
+    pub const JSGE: u8 = 0x70;
+    /// Helper call.
+    pub const CALL: u8 = 0x80;
+    /// Program exit.
+    pub const EXIT: u8 = 0x90;
+    /// Jump if unsigned less.
+    pub const JLT: u8 = 0xa0;
+    /// Jump if unsigned less-or-equal.
+    pub const JLE: u8 = 0xb0;
+    /// Jump if signed less.
+    pub const JSLT: u8 = 0xc0;
+    /// Jump if signed less-or-equal.
+    pub const JSLE: u8 = 0xd0;
+}
+
+/// Source bit: operand comes from immediate (K) or register (X).
+pub mod src {
+    /// Immediate operand.
+    pub const K: u8 = 0x00;
+    /// Register operand.
+    pub const X: u8 = 0x08;
+}
+
+/// Memory access width bits (op & 0x18).
+pub mod size {
+    /// 4 bytes.
+    pub const W: u8 = 0x00;
+    /// 2 bytes.
+    pub const H: u8 = 0x08;
+    /// 1 byte.
+    pub const B: u8 = 0x10;
+    /// 8 bytes.
+    pub const DW: u8 = 0x18;
+}
+
+/// Memory access mode bits (op & 0xe0).
+pub mod mode {
+    /// Immediate (used by the 16-byte LD_DW form).
+    pub const IMM: u8 = 0x00;
+    /// Register + offset.
+    pub const MEM: u8 = 0x60;
+    /// Atomic read-modify-write (STX class; the `imm` field selects the
+    /// operation from [`super::atomic`]).
+    pub const ATOMIC: u8 = 0xc0;
+}
+
+/// Atomic operation selectors carried in the `imm` field of an
+/// `STX | ATOMIC` instruction (Linux ABI values).
+pub mod atomic {
+    /// `*(dst+off) += src`.
+    pub const ADD: i32 = 0x00;
+    /// `*(dst+off) |= src`.
+    pub const OR: i32 = 0x40;
+    /// `*(dst+off) &= src`.
+    pub const AND: i32 = 0x50;
+    /// `*(dst+off) ^= src`.
+    pub const XOR: i32 = 0xa0;
+    /// Fetch flag: `src` receives the old value.
+    pub const FETCH: i32 = 0x01;
+    /// Exchange: `src <-> *(dst+off)` (always fetches).
+    pub const XCHG: i32 = 0xe0 | FETCH;
+    /// Compare-and-exchange against `r0`; `r0` receives the old value.
+    pub const CMPXCHG: i32 = 0xf0 | FETCH;
+}
+
+/// Number of usable registers (r0–r9 general, r10 frame pointer).
+pub const NUM_REGS: usize = 11;
+
+/// Frame-pointer register.
+pub const FP: u8 = 10;
+
+/// Stack size available below the frame pointer.
+pub const STACK_SIZE: u64 = 512;
+
+/// One 8-byte eBPF instruction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Insn {
+    /// Opcode byte.
+    pub op: u8,
+    /// Destination register (0–10).
+    pub dst: u8,
+    /// Source register (0–10).
+    pub src: u8,
+    /// Signed 16-bit offset (jumps, memory).
+    pub off: i16,
+    /// Signed 32-bit immediate.
+    pub imm: i32,
+}
+
+impl Insn {
+    /// Encodes to the standard 8-byte little-endian slot.
+    pub fn encode(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.op;
+        b[1] = (self.src << 4) | (self.dst & 0x0f);
+        b[2..4].copy_from_slice(&self.off.to_le_bytes());
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes one slot.
+    pub fn decode(b: &[u8; 8]) -> Insn {
+        Insn {
+            op: b[0],
+            dst: b[1] & 0x0f,
+            src: b[1] >> 4,
+            off: i16::from_le_bytes([b[2], b[3]]),
+            imm: i32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+        }
+    }
+
+    /// Instruction class bits.
+    pub fn class(&self) -> u8 {
+        self.op & class::MASK
+    }
+
+    /// True for the 16-byte `lddw` (load 64-bit immediate) first slot.
+    pub fn is_lddw(&self) -> bool {
+        self.op == (class::LD | mode::IMM | size::DW)
+    }
+
+    /// True if this is any jump-class instruction.
+    pub fn is_jump(&self) -> bool {
+        matches!(self.class(), class::JMP | class::JMP32)
+    }
+
+    /// True for `exit`.
+    pub fn is_exit(&self) -> bool {
+        self.op == (class::JMP | op::EXIT)
+    }
+
+    /// True for `call`.
+    pub fn is_call(&self) -> bool {
+        self.op == (class::JMP | op::CALL)
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "op={:#04x} dst=r{} src=r{} off={} imm={}",
+            self.op, self.dst, self.src, self.off, self.imm
+        )
+    }
+}
+
+// --- Builder helpers -------------------------------------------------------
+//
+// These make hand-written and generated programs readable; each returns a
+// fully encoded instruction.
+
+/// `dst = imm` (64-bit mov of a 32-bit immediate, sign-extended).
+pub fn mov64_imm(dst: u8, imm: i32) -> Insn {
+    Insn { op: class::ALU64 | op::MOV | src::K, dst, src: 0, off: 0, imm }
+}
+
+/// `dst = src` (64-bit register move).
+pub fn mov64_reg(dst: u8, src_reg: u8) -> Insn {
+    Insn { op: class::ALU64 | op::MOV | src::X, dst, src: src_reg, off: 0, imm: 0 }
+}
+
+/// 64-bit ALU with immediate: `dst = dst <op> imm`.
+pub fn alu64_imm(operation: u8, dst: u8, imm: i32) -> Insn {
+    Insn { op: class::ALU64 | operation | src::K, dst, src: 0, off: 0, imm }
+}
+
+/// 64-bit ALU with register: `dst = dst <op> src`.
+pub fn alu64_reg(operation: u8, dst: u8, src_reg: u8) -> Insn {
+    Insn { op: class::ALU64 | operation | src::X, dst, src: src_reg, off: 0, imm: 0 }
+}
+
+/// 32-bit ALU with immediate (upper 32 bits of dst are zeroed).
+pub fn alu32_imm(operation: u8, dst: u8, imm: i32) -> Insn {
+    Insn { op: class::ALU32 | operation | src::K, dst, src: 0, off: 0, imm }
+}
+
+/// Load from memory: `dst = *(size *)(src + off)`.
+pub fn ldx(sz: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
+    Insn { op: class::LDX | mode::MEM | sz, dst, src: src_reg, off, imm: 0 }
+}
+
+/// Store register to memory: `*(size *)(dst + off) = src`.
+pub fn stx(sz: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
+    Insn { op: class::STX | mode::MEM | sz, dst, src: src_reg, off, imm: 0 }
+}
+
+/// Store immediate to memory: `*(size *)(dst + off) = imm`.
+pub fn st_imm(sz: u8, dst: u8, off: i16, imm: i32) -> Insn {
+    Insn { op: class::ST | mode::MEM | sz, dst, src: 0, off, imm }
+}
+
+/// Conditional jump against an immediate.
+pub fn jmp_imm(cond: u8, dst: u8, imm: i32, off: i16) -> Insn {
+    Insn { op: class::JMP | cond | src::K, dst, src: 0, off, imm }
+}
+
+/// Conditional jump against a register.
+pub fn jmp_reg(cond: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
+    Insn { op: class::JMP | cond | src::X, dst, src: src_reg, off, imm: 0 }
+}
+
+/// 32-bit conditional jump against an immediate (compares the low halves).
+pub fn jmp32_imm(cond: u8, dst: u8, imm: i32, off: i16) -> Insn {
+    Insn { op: class::JMP32 | cond | src::K, dst, src: 0, off, imm }
+}
+
+/// 32-bit conditional jump against a register.
+pub fn jmp32_reg(cond: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
+    Insn { op: class::JMP32 | cond | src::X, dst, src: src_reg, off, imm: 0 }
+}
+
+/// Convert `dst` to big-endian of `bits` (16/32/64): `be16`/`be32`/`be64`.
+pub fn to_be(dst: u8, bits: i32) -> Insn {
+    Insn { op: class::ALU32 | op::END | src::X, dst, src: 0, off: 0, imm: bits }
+}
+
+/// Convert `dst` to little-endian of `bits` (16/32/64) — a truncating
+/// no-op on this little-endian machine model.
+pub fn to_le(dst: u8, bits: i32) -> Insn {
+    Insn { op: class::ALU32 | op::END | src::K, dst, src: 0, off: 0, imm: bits }
+}
+
+/// Unconditional jump.
+pub fn ja(off: i16) -> Insn {
+    Insn { op: class::JMP | op::JA, dst: 0, src: 0, off, imm: 0 }
+}
+
+/// Helper call by id.
+pub fn call(helper: i32) -> Insn {
+    Insn { op: class::JMP | op::CALL, dst: 0, src: 0, off: 0, imm: helper }
+}
+
+/// Program exit; the return value is in `r0`.
+pub fn exit() -> Insn {
+    Insn { op: class::JMP | op::EXIT, dst: 0, src: 0, off: 0, imm: 0 }
+}
+
+/// Atomic read-modify-write: `*(size*)(dst + off) <aop>= src`.
+///
+/// `sz` must be [`size::W`] or [`size::DW`]; `aop` is a selector from
+/// [`atomic`] (or-able with [`atomic::FETCH`]).
+pub fn atomic_op(sz: u8, dst: u8, src_reg: u8, off: i16, aop: i32) -> Insn {
+    Insn {
+        op: class::STX | mode::ATOMIC | sz,
+        dst,
+        src: src_reg,
+        off,
+        imm: aop,
+    }
+}
+
+/// The two-slot `lddw dst, imm64` sequence.
+pub fn lddw(dst: u8, imm: u64) -> [Insn; 2] {
+    [
+        Insn {
+            op: class::LD | mode::IMM | size::DW,
+            dst,
+            src: 0,
+            off: 0,
+            imm: imm as u32 as i32,
+        },
+        Insn {
+            op: 0,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: (imm >> 32) as u32 as i32,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = [
+            mov64_imm(3, -7),
+            alu64_reg(op::ADD, 1, 2),
+            ldx(size::W, 0, 1, 16),
+            stx(size::DW, 10, 3, -8),
+            jmp_imm(op::JGT, 2, 100, 5),
+            call(6),
+            exit(),
+        ];
+        for insn in cases {
+            assert_eq!(Insn::decode(&insn.encode()), insn);
+        }
+    }
+
+    #[test]
+    fn class_extraction() {
+        assert_eq!(mov64_imm(0, 1).class(), class::ALU64);
+        assert_eq!(alu32_imm(op::ADD, 0, 1).class(), class::ALU32);
+        assert_eq!(ldx(size::B, 0, 1, 0).class(), class::LDX);
+        assert!(exit().is_exit());
+        assert!(call(1).is_call());
+        assert!(ja(3).is_jump());
+        assert!(!mov64_imm(0, 0).is_jump());
+    }
+
+    #[test]
+    fn lddw_splits_immediate() {
+        let [lo, hi] = lddw(5, 0xDEAD_BEEF_CAFE_F00D);
+        assert!(lo.is_lddw());
+        assert_eq!(lo.imm as u32, 0xCAFE_F00D);
+        assert_eq!(hi.imm as u32, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn encoding_matches_linux_layout() {
+        // mov64 r1, 1 encodes as b7 01 00 00 01 00 00 00.
+        let b = mov64_imm(1, 1).encode();
+        assert_eq!(b, [0xb7, 0x01, 0, 0, 1, 0, 0, 0]);
+        // exit encodes as 95 00 00 00 00 00 00 00.
+        assert_eq!(exit().encode(), [0x95, 0, 0, 0, 0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # hyperion-ebpf — the accelerator-independent IR
+//!
+//! Paper §2.2 argues that FPGA programming should "decouple the frontend
+//! (application logic) and backend (HDL codes) with an accelerator-
+//! independent, intermediate representation (IR) language" and that eBPF
+//! is that IR. This crate is Hyperion's eBPF execution environment — one
+//! of the "many possible implementations" the paper contemplates:
+//!
+//! * [`insn`] — the standard eBPF ISA with byte-exact encoding;
+//! * [`asm`] / [`disasm`] — a textual assembler/disassembler that stands
+//!   in for the clang/LLVM frontend;
+//! * [`program`] — programs and the Hyperion ABI (`r1` = ctx pointer,
+//!   `r2` = ctx length, declared `ctx_min_len` window);
+//! * [`vm`] — a fully-checked interpreter with maps/helpers, usable as a
+//!   differential oracle for the verifier;
+//! * [`verifier`] — static verification (structure, DAG control flow,
+//!   range-based abstract interpretation) producing [`VerifiedProgram`],
+//!   the only type the HDL compiler accepts;
+//! * [`maps`] — array/hash maps shared between programs and services.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+pub mod insn;
+pub mod maps;
+pub mod program;
+pub mod verifier;
+pub mod vm;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::disassemble;
+pub use insn::Insn;
+pub use maps::{MapError, MapId, MapSet};
+pub use program::{Program, VerifiedProgram};
+pub use verifier::{verify, VerifyError};
+pub use vm::{helper, ExecResult, Vm, VmError};

@@ -1,0 +1,222 @@
+//! eBPF maps: the state shared between programs and their environment.
+//!
+//! Hyperion programs keep flow tables, histograms, and counters in maps,
+//! exactly as XDP programs do. Keys and values are `u64` — sufficient for
+//! the middleware pipelines (flow hashes, counters, ban timestamps) and
+//! simple enough to survive the trip into the HDL pipeline, where a map
+//! becomes a BRAM/URAM-backed lookup unit.
+
+use std::collections::HashMap;
+
+/// Identifies a map within a [`MapSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MapId(pub u32);
+
+/// Map flavours.
+#[derive(Debug, Clone)]
+enum MapKind {
+    /// Dense array indexed by key; out-of-range keys read as 0 and reject
+    /// updates.
+    Array(Vec<u64>),
+    /// Hash map with a capacity bound.
+    Hash {
+        entries: HashMap<u64, u64>,
+        max_entries: usize,
+    },
+}
+
+/// Errors from map operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The map id is not registered.
+    NoSuchMap(u32),
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// Offending key.
+        key: u64,
+        /// Array length.
+        len: usize,
+    },
+    /// Hash map is at capacity and the key is new.
+    Full,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::NoSuchMap(id) => write!(f, "no such map {id}"),
+            MapError::IndexOutOfBounds { key, len } => {
+                write!(f, "index {key} out of bounds (len {len})")
+            }
+            MapError::Full => write!(f, "map is full"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// The set of maps available to one program deployment.
+#[derive(Debug, Clone, Default)]
+pub struct MapSet {
+    maps: Vec<MapKind>,
+}
+
+impl MapSet {
+    /// Creates an empty set.
+    pub fn new() -> MapSet {
+        MapSet::default()
+    }
+
+    /// Registers an array map of `len` slots (zero-initialized).
+    pub fn add_array(&mut self, len: usize) -> MapId {
+        let id = MapId(self.maps.len() as u32);
+        self.maps.push(MapKind::Array(vec![0; len]));
+        id
+    }
+
+    /// Registers a hash map bounded at `max_entries`.
+    pub fn add_hash(&mut self, max_entries: usize) -> MapId {
+        let id = MapId(self.maps.len() as u32);
+        self.maps.push(MapKind::Hash {
+            entries: HashMap::new(),
+            max_entries,
+        });
+        id
+    }
+
+    /// Number of registered maps.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// True if no maps are registered.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Looks up `key`; absent hash keys and in-range array slots read as
+    /// their stored value, absent hash keys as `None`.
+    pub fn lookup(&self, id: MapId, key: u64) -> Result<Option<u64>, MapError> {
+        match self.get(id)? {
+            MapKind::Array(v) => {
+                if (key as usize) < v.len() {
+                    Ok(Some(v[key as usize]))
+                } else {
+                    Err(MapError::IndexOutOfBounds {
+                        key,
+                        len: v.len(),
+                    })
+                }
+            }
+            MapKind::Hash { entries, .. } => Ok(entries.get(&key).copied()),
+        }
+    }
+
+    /// Inserts or overwrites `key -> value`.
+    pub fn update(&mut self, id: MapId, key: u64, value: u64) -> Result<(), MapError> {
+        match self.get_mut(id)? {
+            MapKind::Array(v) => {
+                let len = v.len();
+                if (key as usize) < len {
+                    v[key as usize] = value;
+                    Ok(())
+                } else {
+                    Err(MapError::IndexOutOfBounds { key, len })
+                }
+            }
+            MapKind::Hash {
+                entries,
+                max_entries,
+            } => {
+                if entries.len() >= *max_entries && !entries.contains_key(&key) {
+                    return Err(MapError::Full);
+                }
+                entries.insert(key, value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes `key`; returns whether it was present. Arrays zero the slot.
+    pub fn delete(&mut self, id: MapId, key: u64) -> Result<bool, MapError> {
+        match self.get_mut(id)? {
+            MapKind::Array(v) => {
+                let len = v.len();
+                if (key as usize) < len {
+                    let was = v[key as usize] != 0;
+                    v[key as usize] = 0;
+                    Ok(was)
+                } else {
+                    Err(MapError::IndexOutOfBounds { key, len })
+                }
+            }
+            MapKind::Hash { entries, .. } => Ok(entries.remove(&key).is_some()),
+        }
+    }
+
+    /// Number of live entries in a map (array maps report their length).
+    pub fn entries(&self, id: MapId) -> Result<usize, MapError> {
+        match self.get(id)? {
+            MapKind::Array(v) => Ok(v.len()),
+            MapKind::Hash { entries, .. } => Ok(entries.len()),
+        }
+    }
+
+    fn get(&self, id: MapId) -> Result<&MapKind, MapError> {
+        self.maps
+            .get(id.0 as usize)
+            .ok_or(MapError::NoSuchMap(id.0))
+    }
+
+    fn get_mut(&mut self, id: MapId) -> Result<&mut MapKind, MapError> {
+        self.maps
+            .get_mut(id.0 as usize)
+            .ok_or(MapError::NoSuchMap(id.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_map_read_write() {
+        let mut ms = MapSet::new();
+        let a = ms.add_array(4);
+        ms.update(a, 2, 99).unwrap();
+        assert_eq!(ms.lookup(a, 2).unwrap(), Some(99));
+        assert_eq!(ms.lookup(a, 0).unwrap(), Some(0));
+        assert!(matches!(
+            ms.lookup(a, 4),
+            Err(MapError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn hash_map_capacity_enforced() {
+        let mut ms = MapSet::new();
+        let h = ms.add_hash(2);
+        ms.update(h, 1, 10).unwrap();
+        ms.update(h, 2, 20).unwrap();
+        assert_eq!(ms.update(h, 3, 30), Err(MapError::Full));
+        // Overwrites of existing keys are allowed at capacity.
+        ms.update(h, 1, 11).unwrap();
+        assert_eq!(ms.lookup(h, 1).unwrap(), Some(11));
+    }
+
+    #[test]
+    fn hash_map_delete() {
+        let mut ms = MapSet::new();
+        let h = ms.add_hash(8);
+        ms.update(h, 5, 50).unwrap();
+        assert!(ms.delete(h, 5).unwrap());
+        assert!(!ms.delete(h, 5).unwrap());
+        assert_eq!(ms.lookup(h, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_map_errors() {
+        let ms = MapSet::new();
+        assert_eq!(ms.lookup(MapId(0), 0), Err(MapError::NoSuchMap(0)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Differential testing: the verifier's safety contract against the VM.
+//!
+//! The verifier's guarantee is that an admitted program cannot fault at
+//! runtime for any context of at least the declared size. We generate
+//! random programs from a grammar biased toward verifiable shapes, and for
+//! every program the verifier admits, we execute it on random contexts and
+//! require a clean run. (Programs the verifier rejects are fine — the
+//! property is one-sided soundness.)
+
+use hyperion_ebpf::insn::{self, op, size, Insn, FP};
+use hyperion_ebpf::program::Program;
+use hyperion_ebpf::vm::{helper, Vm, VmError};
+use hyperion_ebpf::{verify, VerifyError};
+use proptest::prelude::*;
+
+const CTX_LEN: u64 = 64;
+
+/// One grammar step: a small safe-ish instruction template. Offsets and
+/// registers are random enough that some programs are rejected, which
+/// exercises both verifier verdicts.
+fn step_strategy() -> impl Strategy<Value = Vec<Insn>> {
+    prop_oneof![
+        // Random ALU on r0-r5.
+        (0u8..6, 0u8..6, any::<i32>(), 0usize..11).prop_map(|(d, s, imm, which)| {
+            let ops = [
+                op::ADD,
+                op::SUB,
+                op::MUL,
+                op::OR,
+                op::AND,
+                op::XOR,
+                op::LSH,
+                op::RSH,
+                op::ARSH,
+                op::MOV,
+                op::MOV,
+            ];
+            let o = ops[which];
+            vec![if imm % 2 == 0 {
+                insn::alu64_imm(o, d, imm)
+            } else {
+                insn::alu64_reg(o, d, s)
+            }]
+        }),
+        // Context load at a random (possibly out-of-window) offset.
+        (0u8..6, 0i16..80).prop_map(|(d, off)| vec![insn::ldx(size::W, d, 1, off)]),
+        // Stack spill + fill of the same slot.
+        (0u8..6, 1i16..64).prop_map(|(r, slot)| {
+            let off = -(slot * 8).min(512);
+            vec![
+                insn::stx(size::DW, FP, r, off),
+                insn::ldx(size::DW, r, FP, off),
+            ]
+        }),
+        // A forward branch over one instruction.
+        (0u8..6, any::<i32>()).prop_map(|(d, k)| {
+            vec![insn::jmp_imm(op::JGT, d, k, 1), insn::alu64_imm(op::ADD, 0, 1)]
+        }),
+        // A helper call with scalar args.
+        (0u8..3).prop_map(|_| {
+            vec![
+                insn::mov64_imm(1, 0),
+                insn::call(helper::TRACE),
+            ]
+        }),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    // Initialize r0-r5, then random steps, then a clean epilogue.
+    proptest::collection::vec(step_strategy(), 0..12).prop_map(|steps| {
+        let mut insns = Vec::new();
+        for r in 0..6 {
+            insns.push(insn::mov64_imm(r, r as i32 * 3 + 1));
+        }
+        for s in steps {
+            insns.extend(s);
+        }
+        insns.push(insn::mov64_imm(0, 0));
+        insns.push(insn::exit());
+        Program::new("fuzz", insns, CTX_LEN)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: verified programs never fault in the VM.
+    #[test]
+    fn verified_programs_never_fault(program in program_strategy(), seed in any::<u64>()) {
+        if let Ok(verified) = verify(&program) {
+            let mut ctx = vec![0u8; CTX_LEN as usize];
+            // Deterministic pseudo-random fill from the seed.
+            let mut x = seed | 1;
+            for b in ctx.iter_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (x >> 56) as u8;
+            }
+            let mut vm = Vm::new();
+            match vm.run(verified.program(), &mut ctx) {
+                Ok(result) => {
+                    // The DAG bound must hold at runtime too.
+                    prop_assert!(
+                        result.insns <= verified.max_insns,
+                        "ran {} insns, bound {}",
+                        result.insns,
+                        verified.max_insns
+                    );
+                }
+                Err(e) => {
+                    return Err(TestCaseError::fail(format!(
+                        "verifier admitted a faulting program: {e}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The verifier is deterministic.
+    #[test]
+    fn verify_is_deterministic(program in program_strategy()) {
+        let a = verify(&program).map(|v| v.max_insns).map_err(format_err);
+        let b = verify(&program).map(|v| v.max_insns).map_err(format_err);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The VM is deterministic for a fixed context.
+    #[test]
+    fn vm_is_deterministic(program in program_strategy()) {
+        if verify(&program).is_ok() {
+            let mut c1 = vec![7u8; CTX_LEN as usize];
+            let mut c2 = vec![7u8; CTX_LEN as usize];
+            let r1 = Vm::new().run(&program, &mut c1).unwrap();
+            let r2 = Vm::new().run(&program, &mut c2).unwrap();
+            prop_assert_eq!(r1, r2);
+            prop_assert_eq!(c1, c2);
+        }
+    }
+}
+
+fn format_err(e: VerifyError) -> String {
+    format!("{e}")
+}
+
+// Bytes round-trip: any program survives encode/decode.
+proptest! {
+    #[test]
+    fn byte_format_round_trips(program in program_strategy()) {
+        let bytes = program.to_bytes();
+        let back = Program::from_bytes("rt", &bytes, CTX_LEN).unwrap();
+        prop_assert_eq!(back.insns, program.insns);
+    }
+
+    /// VM runtime checking rejects what it should: truncating programs at
+    /// a random point (removing the exit) must produce FellThrough or
+    /// another fault, never a silent success.
+    #[test]
+    fn truncated_programs_fault(program in program_strategy(), cut in 1usize..8) {
+        let mut p = program;
+        if p.insns.len() > cut + 1 {
+            p.insns.truncate(p.insns.len() - cut);
+            // Remove trailing exit if any remains mid-sequence.
+            let mut ctx = vec![0u8; CTX_LEN as usize];
+            match Vm::new().run(&p, &mut ctx) {
+                Ok(_) => {
+                    // Only acceptable if the truncated tail still ends in
+                    // exit (possible when the cut removed a whole tail
+                    // after an exit-bearing branch arm).
+                    prop_assert!(p.insns.iter().any(|i| i.is_exit()));
+                }
+                Err(e) => {
+                    prop_assert!(
+                        !matches!(e, VmError::BudgetExceeded),
+                        "truncation should not loop"
+                    );
+                }
+            }
+        }
+    }
+}

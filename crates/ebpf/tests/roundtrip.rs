@@ -1,0 +1,109 @@
+//! Disassembler ↔ assembler round-trip: for generated programs, the
+//! disassembled text re-assembles to the identical instruction sequence.
+
+use hyperion_ebpf::asm::assemble;
+use hyperion_ebpf::disasm::disassemble;
+use hyperion_ebpf::insn::{self, op, size, Insn, FP};
+use hyperion_ebpf::program::Program;
+use proptest::prelude::*;
+
+fn insn_strategy() -> impl Strategy<Value = Vec<Insn>> {
+    prop_oneof![
+        (0u8..10, any::<i32>(), 0usize..12).prop_map(|(d, imm, which)| {
+            let ops = [
+                op::ADD,
+                op::SUB,
+                op::MUL,
+                op::DIV,
+                op::MOD,
+                op::OR,
+                op::AND,
+                op::XOR,
+                op::LSH,
+                op::RSH,
+                op::ARSH,
+                op::MOV,
+            ];
+            vec![insn::alu64_imm(ops[which], d, imm)]
+        }),
+        (0u8..10, 0u8..10, 0usize..12).prop_map(|(d, s, which)| {
+            let ops = [
+                op::ADD,
+                op::SUB,
+                op::MUL,
+                op::DIV,
+                op::MOD,
+                op::OR,
+                op::AND,
+                op::XOR,
+                op::LSH,
+                op::RSH,
+                op::ARSH,
+                op::MOV,
+            ];
+            vec![insn::alu64_reg(ops[which], d, s)]
+        }),
+        (0u8..10, any::<i32>()).prop_map(|(d, imm)| vec![insn::alu32_imm(op::ADD, d, imm)]),
+        (0u8..10).prop_map(|d| vec![insn::Insn {
+            op: 0x87, // neg64
+            dst: d,
+            src: 0,
+            off: 0,
+            imm: 0,
+        }]),
+        (0u8..10, any::<u64>()).prop_map(|(d, v)| insn::lddw(d, v).to_vec()),
+        (0u8..10, -64i16..64, 0usize..4).prop_map(|(d, off, w)| {
+            let sizes = [size::B, size::H, size::W, size::DW];
+            vec![insn::ldx(sizes[w], d, 1, off)]
+        }),
+        (0u8..10, -64i16..0, 0usize..4).prop_map(|(s, off, w)| {
+            let sizes = [size::B, size::H, size::W, size::DW];
+            vec![insn::stx(sizes[w], FP, s, off)]
+        }),
+        (-32i16..0, any::<i32>()).prop_map(|(off, imm)| vec![insn::st_imm(size::W, FP, off, imm)]),
+        (0u8..10, any::<i32>(), 1i16..4).prop_map(|(d, imm, off)| {
+            vec![insn::jmp_imm(op::JNE, d, imm, off)]
+        }),
+        (0u8..10, 0u8..10, 1i16..4).prop_map(|(d, s, off)| {
+            vec![insn::jmp32_reg(op::JGE, d, s, off)]
+        }),
+        (0u8..10, 0usize..3).prop_map(|(d, w)| {
+            let bits = [16, 32, 64];
+            vec![insn::to_be(d, bits[w])]
+        }),
+        (0u8..10, 0usize..3).prop_map(|(d, w)| {
+            let bits = [16, 32, 64];
+            vec![insn::to_le(d, bits[w])]
+        }),
+        (1i16..5).prop_map(|off| vec![insn::ja(off)]),
+        Just(vec![insn::call(hyperion_ebpf::vm::helper::NOW)]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn disassembled_text_reassembles_identically(
+        steps in proptest::collection::vec(insn_strategy(), 1..20),
+    ) {
+        let mut insns: Vec<Insn> = steps.into_iter().flatten().collect();
+        insns.push(insn::exit());
+        let original = Program::new("rt", insns, 64);
+        let text = disassemble(&original);
+        // Strip the "  N: " prefixes.
+        let source: String = text
+            .lines()
+            .map(|l| l.split_once(": ").map(|x| x.1).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reassembled = assemble("rt2", &source, 64)
+            .map_err(|e| TestCaseError::fail(format!("{e}\nsource:\n{source}")))?;
+        prop_assert_eq!(
+            &reassembled.insns,
+            &original.insns,
+            "text:\n{}",
+            source
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Clock domains: converting pipeline cycles to virtual time.
+
+use hyperion_sim::time::Ns;
+
+/// A fixed-frequency clock domain.
+///
+/// The paper's predictability argument (§2, FPGA strength 3) rests on the
+/// fact that a placed circuit runs at a fixed frequency without outside
+/// interference; all pipeline timing in the reproduction flows through this
+/// type so that claim is structural.
+///
+/// # Examples
+///
+/// ```
+/// use hyperion_fabric::clock::ClockDomain;
+/// use hyperion_sim::time::Ns;
+///
+/// let clk = ClockDomain::new(250);
+/// assert_eq!(clk.cycles_to_ns(250_000_000), Ns::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDomain {
+    mhz: u64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain at the given frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn new(mhz: u64) -> ClockDomain {
+        assert!(mhz > 0, "clock frequency must be non-zero");
+        ClockDomain { mhz }
+    }
+
+    /// The domain frequency in MHz.
+    pub fn mhz(&self) -> u64 {
+        self.mhz
+    }
+
+    /// Duration of one cycle, rounded up to whole nanoseconds for a
+    /// conservative model (250 MHz -> 4 ns exactly).
+    pub fn cycle(&self) -> Ns {
+        Ns(1_000u64.div_ceil(self.mhz))
+    }
+
+    /// Converts a cycle count to virtual time (exact, not per-cycle
+    /// rounded: `cycles * 1000 / mhz`, rounded up).
+    pub fn cycles_to_ns(&self, cycles: u64) -> Ns {
+        Ns(((cycles as u128 * 1_000).div_ceil(self.mhz as u128)) as u64)
+    }
+
+    /// Converts a duration to a whole number of cycles, rounding up.
+    pub fn ns_to_cycles(&self, t: Ns) -> u64 {
+        ((t.0 as u128 * self.mhz as u128).div_ceil(1_000)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time_rounds_up() {
+        assert_eq!(ClockDomain::new(250).cycle(), Ns(4));
+        assert_eq!(ClockDomain::new(300).cycle(), Ns(4)); // 3.33 -> 4
+        assert_eq!(ClockDomain::new(1000).cycle(), Ns(1));
+    }
+
+    #[test]
+    fn cycles_to_ns_is_exact_in_aggregate() {
+        let clk = ClockDomain::new(300);
+        // 300 cycles at 300 MHz = exactly 1 us even though one cycle rounds.
+        assert_eq!(clk.cycles_to_ns(300), Ns(1_000));
+    }
+
+    #[test]
+    fn ns_to_cycles_round_trip_upper_bounds() {
+        let clk = ClockDomain::new(250);
+        let t = Ns(1_001);
+        let c = clk.ns_to_cycles(t);
+        assert!(clk.cycles_to_ns(c) >= t);
+    }
+}

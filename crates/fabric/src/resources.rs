@@ -1,0 +1,195 @@
+//! FPGA area accounting: LUTs, flip-flops, BRAM/URAM blocks, DSP slices.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A bundle of FPGA resource quantities.
+///
+/// Used both as a *budget* (what a slot offers) and a *requirement* (what a
+/// bitstream consumes). All arithmetic is checked so placement logic can
+/// report precise failures.
+///
+/// # Examples
+///
+/// ```
+/// use hyperion_fabric::resources::ResourceBudget;
+///
+/// let slot = ResourceBudget { luts: 100_000, ffs: 200_000, brams: 200, urams: 96, dsps: 900 };
+/// let kernel = ResourceBudget { luts: 40_000, ffs: 60_000, brams: 32, urams: 8, dsps: 120 };
+/// assert!(kernel.fits_in(&slot));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops (registers).
+    pub ffs: u64,
+    /// 36 Kib block RAMs.
+    pub brams: u64,
+    /// 288 Kib UltraRAMs.
+    pub urams: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+}
+
+impl ResourceBudget {
+    /// The empty budget.
+    pub const ZERO: ResourceBudget = ResourceBudget {
+        luts: 0,
+        ffs: 0,
+        brams: 0,
+        urams: 0,
+        dsps: 0,
+    };
+
+    /// Returns true if `self` (a requirement) fits within `budget`.
+    pub fn fits_in(&self, budget: &ResourceBudget) -> bool {
+        self.luts <= budget.luts
+            && self.ffs <= budget.ffs
+            && self.brams <= budget.brams
+            && self.urams <= budget.urams
+            && self.dsps <= budget.dsps
+    }
+
+    /// Subtracts a requirement, returning `None` if any dimension would go
+    /// negative.
+    pub fn checked_sub(&self, req: &ResourceBudget) -> Option<ResourceBudget> {
+        Some(ResourceBudget {
+            luts: self.luts.checked_sub(req.luts)?,
+            ffs: self.ffs.checked_sub(req.ffs)?,
+            brams: self.brams.checked_sub(req.brams)?,
+            urams: self.urams.checked_sub(req.urams)?,
+            dsps: self.dsps.checked_sub(req.dsps)?,
+        })
+    }
+
+    /// Divides the budget into `n` equal shares (integer division per
+    /// dimension), e.g. when carving a die into reconfigurable slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split(&self, n: u64) -> ResourceBudget {
+        assert!(n > 0, "cannot split a budget into zero shares");
+        ResourceBudget {
+            luts: self.luts / n,
+            ffs: self.ffs / n,
+            brams: self.brams / n,
+            urams: self.urams / n,
+            dsps: self.dsps / n,
+        }
+    }
+
+    /// The fraction of `budget` this requirement occupies, as the maximum
+    /// over dimensions (the binding constraint), in `[0, +inf)`.
+    pub fn occupancy_of(&self, budget: &ResourceBudget) -> f64 {
+        let frac = |a: u64, b: u64| -> f64 {
+            if b == 0 {
+                if a == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                a as f64 / b as f64
+            }
+        };
+        frac(self.luts, budget.luts)
+            .max(frac(self.ffs, budget.ffs))
+            .max(frac(self.brams, budget.brams))
+            .max(frac(self.urams, budget.urams))
+            .max(frac(self.dsps, budget.dsps))
+    }
+}
+
+impl Add for ResourceBudget {
+    type Output = ResourceBudget;
+    fn add(self, rhs: ResourceBudget) -> ResourceBudget {
+        ResourceBudget {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            urams: self.urams + rhs.urams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for ResourceBudget {
+    fn add_assign(&mut self, rhs: ResourceBudget) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for ResourceBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "luts={} ffs={} brams={} urams={} dsps={}",
+            self.luts, self.ffs, self.brams, self.urams, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(luts: u64, brams: u64) -> ResourceBudget {
+        ResourceBudget {
+            luts,
+            ffs: luts * 2,
+            brams,
+            urams: 0,
+            dsps: 0,
+        }
+    }
+
+    #[test]
+    fn fits_requires_every_dimension() {
+        let budget = b(100, 10);
+        assert!(b(100, 10).fits_in(&budget));
+        assert!(!b(101, 1).fits_in(&budget));
+        assert!(!b(1, 11).fits_in(&budget));
+    }
+
+    #[test]
+    fn checked_sub_fails_cleanly() {
+        let budget = b(100, 10);
+        assert_eq!(budget.checked_sub(&b(40, 4)), Some(b(60, 6)));
+        assert_eq!(budget.checked_sub(&b(200, 0)), None);
+    }
+
+    #[test]
+    fn split_divides_each_dimension() {
+        let s = crate::params::U280_BUDGET.split(4);
+        assert_eq!(s.luts, crate::params::U280_BUDGET.luts / 4);
+        assert_eq!(s.brams, crate::params::U280_BUDGET.brams / 4);
+    }
+
+    #[test]
+    fn occupancy_is_binding_constraint() {
+        let budget = b(100, 10);
+        // 50% of LUTs but 90% of BRAM: BRAM binds.
+        let req = b(50, 9);
+        assert!((req.occupancy_of(&budget) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_handles_zero_dimensions() {
+        let budget = ResourceBudget {
+            luts: 10,
+            ..ResourceBudget::ZERO
+        };
+        let req = ResourceBudget {
+            luts: 5,
+            ..ResourceBudget::ZERO
+        };
+        assert!((req.occupancy_of(&budget) - 0.5).abs() < 1e-9);
+        let impossible = ResourceBudget {
+            dsps: 1,
+            ..ResourceBudget::ZERO
+        };
+        assert!(impossible.occupancy_of(&budget).is_infinite());
+    }
+}

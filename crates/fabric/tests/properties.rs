@@ -1,0 +1,101 @@
+//! Property tests for the FPGA fabric: slot accounting, ICAP ordering,
+//! and resource arithmetic.
+
+use hyperion_fabric::bitstream::Bitstream;
+use hyperion_fabric::clock::ClockDomain;
+use hyperion_fabric::params;
+use hyperion_fabric::resources::ResourceBudget;
+use hyperion_fabric::slots::{SlotId, SlotManager};
+use hyperion_sim::time::Ns;
+use proptest::prelude::*;
+
+const KEY: u64 = 0xFEED;
+
+fn budget_strategy() -> impl Strategy<Value = ResourceBudget> {
+    (0u64..300_000, 0u64..600_000, 0u64..500, 0u64..200, 0u64..2_000).prop_map(
+        |(luts, ffs, brams, urams, dsps)| ResourceBudget {
+            luts,
+            ffs,
+            brams,
+            urams,
+            dsps,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Budget arithmetic: `checked_sub` succeeds exactly when the
+    /// requirement fits, and fits_in is reflexive and monotone.
+    #[test]
+    fn budget_arithmetic_consistent(a in budget_strategy(), b in budget_strategy()) {
+        prop_assert_eq!(b.fits_in(&a), a.checked_sub(&b).is_some());
+        prop_assert!(a.fits_in(&a));
+        let sum = a + b;
+        prop_assert!(a.fits_in(&sum));
+        prop_assert!(b.fits_in(&sum));
+        prop_assert_eq!(sum.checked_sub(&b), Some(a));
+    }
+
+    /// Slot placement: kernels that fit always place while slots remain,
+    /// reconfigurations strictly order on the ICAP, and eviction frees
+    /// slots for reuse.
+    #[test]
+    fn slot_lifecycle(
+        kernels in proptest::collection::vec(budget_strategy(), 1..12),
+        n_slots in 1usize..6,
+    ) {
+        let mut mgr = SlotManager::new(params::U280_BUDGET, n_slots, KEY);
+        let slot_budget = mgr.slot_budget();
+        let mut live_times: Vec<Ns> = Vec::new();
+        let mut placed = 0usize;
+        for (i, req) in kernels.iter().enumerate() {
+            let bs = Bitstream::new(format!("k{i}"), *req, ClockDomain::new(250), KEY);
+            match mgr.program_anywhere(bs, Ns::ZERO) {
+                Ok((_, live)) => {
+                    if let Some(&prev) = live_times.last() {
+                        prop_assert!(live > prev, "ICAP must serialize reconfigs");
+                    }
+                    live_times.push(live);
+                    placed += 1;
+                }
+                Err(e) => {
+                    // The only legal failures: does not fit, or all busy.
+                    let fits = req.fits_in(&slot_budget);
+                    let full = placed >= n_slots;
+                    prop_assert!(
+                        !fits || full,
+                        "unexpected placement failure {e:?} (fits={fits}, full={full})"
+                    );
+                }
+            }
+        }
+        prop_assert!(placed <= n_slots);
+        // Evict everything; all slots become free again.
+        for i in 0..n_slots {
+            let _ = mgr.evict(SlotId(i));
+        }
+        prop_assert_eq!(mgr.free_slot(), Some(SlotId(0)));
+    }
+
+    /// Clock conversion: cycles→ns→cycles never loses cycles (the ns
+    /// value always covers at least the requested cycles).
+    #[test]
+    fn clock_round_trip_is_conservative(mhz in 1u64..1_000, cycles in 0u64..10_000_000) {
+        let clk = ClockDomain::new(mhz);
+        let ns = clk.cycles_to_ns(cycles);
+        prop_assert!(clk.ns_to_cycles(ns) >= cycles);
+    }
+
+    /// Bitstream authorization: a signature only verifies under its own
+    /// key.
+    #[test]
+    fn signatures_bind_to_keys(key_a in any::<u64>(), key_b in any::<u64>(), req in budget_strategy()) {
+        let bs = Bitstream::new("k", req, ClockDomain::new(250), key_a);
+        prop_assert!(bs.verify(key_a));
+        if key_a != key_b {
+            prop_assert!(!bs.verify(key_b));
+        }
+    }
+}

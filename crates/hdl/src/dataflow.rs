@@ -1,0 +1,480 @@
+//! Dataflow extraction and pipeline scheduling for verified eBPF.
+//!
+//! This is the reproduction of the paper's eBPF→HDL pipeline (§2.2, citing
+//! hXDP and eHDL): take a *verified* program, extract its dataflow graph
+//! (register def-use, memory ordering, control dependences), and schedule
+//! it ASAP into pipeline stages with bounded fusion lanes per stage. The
+//! schedule determines the hardware pipeline's depth (per-item latency)
+//! and, together with stateful map accesses, its initiation interval
+//! (throughput).
+
+use hyperion_ebpf::insn::{class, op, Insn};
+use hyperion_ebpf::program::VerifiedProgram;
+
+/// Functional-unit category of one instruction, used for both scheduling
+/// latency and resource estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Add/sub/mov/logic: one stage of LUT fabric.
+    Alu,
+    /// Multiply: DSP slice, pipelined over 2 stages.
+    Mul,
+    /// Divide/modulo: iterative divider, 8 stages.
+    Div,
+    /// Shift (barrel shifter).
+    Shift,
+    /// Context/stack memory port.
+    Mem,
+    /// Branch/predicate computation.
+    Branch,
+    /// Stateful map access (BRAM-backed, read-modify-write).
+    Map,
+    /// Other helper (checksum unit, timestamp, trace FIFO).
+    Helper,
+    /// lddw constant materialization (free: becomes wiring).
+    Const,
+}
+
+impl Unit {
+    /// Pipeline stages this unit occupies.
+    pub fn latency(self) -> u64 {
+        match self {
+            Unit::Alu | Unit::Shift | Unit::Branch => 1,
+            Unit::Const => 0,
+            Unit::Mul => 2,
+            Unit::Mem => 2,
+            Unit::Map => 2,
+            Unit::Helper => 4,
+            Unit::Div => 8,
+        }
+    }
+}
+
+/// Classifies one instruction slot.
+pub fn classify(insn: Insn) -> Unit {
+    match insn.class() {
+        class::ALU64 | class::ALU32 => match insn.op & 0xf0 {
+            op::MUL => Unit::Mul,
+            op::DIV | op::MOD => Unit::Div,
+            op::LSH | op::RSH | op::ARSH => Unit::Shift,
+            _ => Unit::Alu,
+        },
+        class::LDX | class::ST => Unit::Mem,
+        class::STX => {
+            if insn.op & 0xe0 == hyperion_ebpf::insn::mode::ATOMIC {
+                // Atomic RMW: a BRAM read-modify-write unit, like a map.
+                Unit::Map
+            } else {
+                Unit::Mem
+            }
+        }
+        class::LD => Unit::Const,
+        class::JMP => {
+            if insn.is_exit() {
+                Unit::Branch
+            } else if insn.is_call() {
+                match insn.imm {
+                    hyperion_ebpf::vm::helper::MAP_LOOKUP
+                    | hyperion_ebpf::vm::helper::MAP_UPDATE
+                    | hyperion_ebpf::vm::helper::MAP_DELETE
+                    | hyperion_ebpf::vm::helper::MAP_CONTAINS => Unit::Map,
+                    _ => Unit::Helper,
+                }
+            } else {
+                Unit::Branch
+            }
+        }
+        class::JMP32 => Unit::Branch,
+        _ => Unit::Alu,
+    }
+}
+
+/// One node of the dataflow graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Instruction slot index in the program.
+    pub pc: usize,
+    /// The instruction.
+    pub insn: Insn,
+    /// Functional unit.
+    pub unit: Unit,
+    /// Indices (into the node list) this node depends on.
+    pub deps: Vec<usize>,
+    /// ASAP stage assigned by the scheduler (filled by [`schedule`]).
+    pub stage: u64,
+}
+
+/// The scheduled dataflow graph.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Nodes in program order with stage assignments.
+    pub nodes: Vec<Node>,
+    /// Pipeline depth in stages (max stage + unit latency).
+    pub depth: u64,
+    /// Initiation interval in cycles: 1 unless stateful map updates force
+    /// a read-modify-write recurrence.
+    pub ii: u64,
+    /// Widest stage occupancy observed (before lane limiting this is the
+    /// available instruction-level parallelism).
+    pub max_width: u64,
+}
+
+/// Fusion lanes per stage: how many independent ALU-class operations one
+/// stage may retire (hXDP uses a VLIW-like multi-lane datapath).
+pub const LANES: u64 = 4;
+
+/// Extracts the dataflow graph and schedules it.
+///
+/// Dependence edges:
+/// * true register dependences (read-after-write on r0–r10);
+/// * memory ordering (all `Mem` nodes are serialized with earlier `Mem`
+///   nodes that may alias — conservatively, all of them);
+/// * control dependences (every node depends on the closest preceding
+///   branch, which predicates it);
+/// * helper/map calls are ordered among themselves (they touch shared
+///   state).
+pub fn schedule(program: &VerifiedProgram) -> Schedule {
+    schedule_with_lanes(program, LANES)
+}
+
+/// [`schedule`] with an explicit lane count — the fusion-width ablation
+/// knob (hXDP's lane count is a headline design parameter).
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+pub fn schedule_with_lanes(program: &VerifiedProgram, lanes: u64) -> Schedule {
+    assert!(lanes > 0, "need at least one lane");
+    let insns = &program.program().insns;
+    let mut nodes: Vec<Node> = Vec::new();
+    // last_def[r] = node index of the latest writer of register r.
+    let mut last_def = [usize::MAX; 11];
+    let mut last_mem = usize::MAX;
+    let mut last_branch = usize::MAX;
+    let mut last_call = usize::MAX;
+
+    let mut pc = 0;
+    while pc < insns.len() {
+        let insn = insns[pc];
+        let unit = classify(insn);
+        let idx = nodes.len();
+        let mut deps = Vec::new();
+        let dep = |d: usize, deps: &mut Vec<usize>| {
+            if d != usize::MAX && !deps.contains(&d) {
+                deps.push(d);
+            }
+        };
+
+        let (reads, writes) = reads_writes(insn);
+        for r in reads {
+            dep(last_def[r as usize], &mut deps);
+        }
+        if unit == Unit::Mem {
+            dep(last_mem, &mut deps);
+        }
+        if matches!(unit, Unit::Map | Unit::Helper) {
+            dep(last_call, &mut deps);
+            dep(last_mem, &mut deps);
+        }
+        dep(last_branch, &mut deps);
+
+        nodes.push(Node {
+            pc,
+            insn,
+            unit,
+            deps,
+            stage: 0,
+        });
+
+        for w in writes {
+            last_def[w as usize] = idx;
+        }
+        if unit == Unit::Mem {
+            last_mem = idx;
+        }
+        if matches!(unit, Unit::Map | Unit::Helper) {
+            last_call = idx;
+            // Calls clobber r0-r5.
+            for d in last_def.iter_mut().take(6) {
+                *d = idx;
+            }
+        }
+        if unit == Unit::Branch && !insn.is_exit() {
+            last_branch = idx;
+        }
+        pc += if insn.is_lddw() { 2 } else { 1 };
+    }
+
+    // ASAP scheduling with lane limits per stage for ALU-class units.
+    let mut stage_load: Vec<u64> = Vec::new();
+    let mut depth = 0u64;
+    let mut max_width = 0u64;
+    for i in 0..nodes.len() {
+        let ready = nodes[i]
+            .deps
+            .iter()
+            .map(|&d| nodes[d].stage + nodes[d].unit.latency())
+            .max()
+            .unwrap_or(0);
+        let mut s = ready;
+        if matches!(nodes[i].unit, Unit::Alu | Unit::Shift) {
+            // Find the first stage >= ready with lane capacity.
+            loop {
+                if stage_load.len() <= s as usize {
+                    stage_load.resize(s as usize + 1, 0);
+                }
+                if stage_load[s as usize] < lanes {
+                    stage_load[s as usize] += 1;
+                    max_width = max_width.max(stage_load[s as usize]);
+                    break;
+                }
+                s += 1;
+            }
+        }
+        nodes[i].stage = s;
+        depth = depth.max(s + nodes[i].unit.latency());
+    }
+
+    // II: stateful map *updates* create a recurrence (the next item's
+    // lookup must observe this item's update). Reads alone pipeline
+    // freely. II is the longest map RMW latency present.
+    let has_map_update = nodes.iter().any(|n| {
+        (n.insn.is_call()
+            && matches!(
+                n.insn.imm,
+                hyperion_ebpf::vm::helper::MAP_UPDATE | hyperion_ebpf::vm::helper::MAP_DELETE
+            ))
+            || (n.insn.class() == class::STX
+                && n.insn.op & 0xe0 == hyperion_ebpf::insn::mode::ATOMIC)
+    });
+    let ii = if has_map_update { Unit::Map.latency() } else { 1 };
+
+    Schedule {
+        nodes,
+        depth: depth.max(1),
+        ii,
+        max_width,
+    }
+}
+
+/// Registers an instruction reads and writes.
+fn reads_writes(insn: Insn) -> (Vec<u8>, Vec<u8>) {
+    use hyperion_ebpf::insn::src;
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    match insn.class() {
+        class::ALU64 | class::ALU32 => {
+            let operation = insn.op & 0xf0;
+            if operation != op::MOV {
+                reads.push(insn.dst);
+            }
+            if insn.op & src::X != 0 {
+                reads.push(insn.src);
+            }
+            writes.push(insn.dst);
+        }
+        class::LD => {
+            writes.push(insn.dst);
+        }
+        class::LDX => {
+            reads.push(insn.src);
+            writes.push(insn.dst);
+        }
+        class::ST => {
+            reads.push(insn.dst);
+        }
+        class::STX => {
+            reads.push(insn.dst);
+            reads.push(insn.src);
+            if insn.op & 0xe0 == hyperion_ebpf::insn::mode::ATOMIC {
+                if insn.imm == hyperion_ebpf::insn::atomic::CMPXCHG {
+                    reads.push(0);
+                    writes.push(0);
+                } else if insn.imm & hyperion_ebpf::insn::atomic::FETCH != 0 {
+                    writes.push(insn.src);
+                }
+            }
+        }
+        class::JMP => {
+            if insn.is_call() {
+                // Helper ABI: r1-r5 are arguments.
+                for r in 1..=5 {
+                    reads.push(r);
+                }
+                writes.push(0);
+            } else if insn.is_exit() {
+                reads.push(0);
+            } else if insn.op & 0xf0 != op::JA {
+                reads.push(insn.dst);
+                if insn.op & src::X != 0 {
+                    reads.push(insn.src);
+                }
+            }
+        }
+        class::JMP32 => {
+            reads.push(insn.dst);
+            if insn.op & src::X != 0 {
+                reads.push(insn.src);
+            }
+        }
+        _ => {}
+    }
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_ebpf::{assemble, verify};
+
+    fn sched(src: &str, ctx: u64) -> Schedule {
+        let p = assemble("t", src, ctx).unwrap();
+        let v = verify(&p).unwrap();
+        schedule(&v)
+    }
+
+    #[test]
+    fn independent_ops_share_a_stage() {
+        let s = sched(
+            r"
+            mov r0, 1
+            mov r3, 2
+            mov r4, 3
+            exit
+        ",
+            0,
+        );
+        // Three independent movs fuse into stage 0.
+        assert_eq!(s.nodes[0].stage, 0);
+        assert_eq!(s.nodes[1].stage, 0);
+        assert_eq!(s.nodes[2].stage, 0);
+        assert!(s.max_width >= 3);
+    }
+
+    #[test]
+    fn dependent_chain_is_sequential() {
+        let s = sched(
+            r"
+            mov r0, 1
+            add r0, 1
+            add r0, 1
+            add r0, 1
+            exit
+        ",
+            0,
+        );
+        let stages: Vec<u64> = s.nodes.iter().take(4).map(|n| n.stage).collect();
+        assert_eq!(stages, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lane_limit_spills_to_next_stage() {
+        // 6 independent movs with 4 lanes: two land one stage later.
+        let s = sched(
+            r"
+            mov r0, 1
+            mov r2, 2
+            mov r3, 3
+            mov r4, 4
+            mov r5, 5
+            mov r6, 6
+            exit
+        ",
+            0,
+        );
+        let at0 = s.nodes.iter().filter(|n| n.stage == 0 && n.unit == Unit::Alu).count();
+        let at1 = s.nodes.iter().filter(|n| n.stage == 1 && n.unit == Unit::Alu).count();
+        assert_eq!(at0, 4);
+        assert_eq!(at1, 2);
+    }
+
+    #[test]
+    fn division_deepens_the_pipeline() {
+        let shallow = sched("mov r0, 4\nadd r0, 1\nexit", 0);
+        let deep = sched("mov r0, 4\nmov r3, 2\ndiv r0, r3\nexit", 0);
+        assert!(deep.depth > shallow.depth + 4);
+    }
+
+    #[test]
+    fn map_updates_raise_ii() {
+        let pure = sched("mov r0, 0\nexit", 0);
+        assert_eq!(pure.ii, 1);
+        let stateful = sched(
+            r"
+            mov r1, 0
+            mov r2, 1
+            mov r3, 1
+            call map_update
+            mov r0, 0
+            exit
+        ",
+            0,
+        );
+        assert!(stateful.ii > 1);
+    }
+
+    #[test]
+    fn map_lookups_keep_ii_one() {
+        let s = sched(
+            r"
+            mov r1, 0
+            mov r2, 1
+            call map_lookup
+            exit
+        ",
+            0,
+        );
+        assert_eq!(s.ii, 1);
+    }
+
+    #[test]
+    fn memory_ops_are_ordered() {
+        let s = sched(
+            r"
+            mov r3, 5
+            stxdw [r10-8], r3
+            ldxdw r4, [r10-8]
+            mov r0, 0
+            exit
+        ",
+            0,
+        );
+        let store = s.nodes.iter().find(|n| n.insn.class() == class::STX).unwrap();
+        let load = s
+            .nodes
+            .iter()
+            .find(|n| n.insn.class() == class::LDX)
+            .unwrap();
+        assert!(load.stage >= store.stage + Unit::Mem.latency());
+    }
+}
+
+#[cfg(test)]
+mod atomic_tests {
+    use super::*;
+    use hyperion_ebpf::{assemble, verify};
+
+    #[test]
+    fn atomic_rmw_raises_ii_like_map_updates() {
+        let stateful = assemble(
+            "ctr",
+            "mov r3, 0\nstxdw [r10-8], r3\nmov r4, 1\naadd64 [r10-8], r4\nmov r0, 0\nexit",
+            0,
+        )
+        .unwrap();
+        let v = verify(&stateful).unwrap();
+        let s = schedule(&v);
+        assert!(s.ii > 1, "atomic RMW is a cross-item recurrence");
+        // The atomic node lands on the Map (BRAM RMW) unit.
+        assert!(s.nodes.iter().any(|n| n.unit == Unit::Map));
+
+        let stateless = assemble(
+            "st",
+            "mov r3, 0\nstxdw [r10-8], r3\nmov r0, 0\nexit",
+            0,
+        )
+        .unwrap();
+        let v = verify(&stateless).unwrap();
+        assert_eq!(schedule(&v).ii, 1);
+    }
+}

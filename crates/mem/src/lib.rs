@@ -1,0 +1,23 @@
+//! # hyperion-mem — the single-level memory/storage model
+//!
+//! Reproduces paper §2.1 ("Memory and Storage Model"):
+//!
+//! * [`seglevel`] — the segmentation-based, single-level unified store:
+//!   128-bit segment ids, one flat translation table mapping objects to
+//!   DRAM/HBM/NVMe bus addresses, hint-based placement and promotion,
+//!   durable-on-NVMe semantics, and crash recovery from the table image
+//!   persisted in the boot NVMe area;
+//! * [`vmpage`] — the page-based virtual-memory baseline (TLB + 4-level
+//!   walk + page-walk cache) that experiment E3 compares translation
+//!   overheads against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod seglevel;
+pub mod vmpage;
+
+pub use seglevel::{
+    AllocHint, Location, SegmentEntry, SegmentId, SingleLevelStore, StoreError, SEG_LOOKUP,
+};
+pub use vmpage::{PageWalker, HUGE_PAGE_SIZE, HUGE_TLB_ENTRIES, PAGE_SIZE, TLB_ENTRIES};

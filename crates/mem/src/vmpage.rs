@@ -1,0 +1,232 @@
+//! Page-based virtual memory: the CPU-centric baseline of experiment E3.
+//!
+//! Paper §2.1: "The unique aspect of segmentation-based location
+//! translation is that it is coarser (object-based) than virtual memory
+//! (page-based), thus reducing overheads associated with the virtual
+//! memory translation." To measure that, this module models the x86-64
+//! translation machinery the CPU-centric baseline pays: a TLB in front of
+//! a 4-level page-table walk with a page-walk cache.
+
+use std::collections::HashMap;
+
+use hyperion_sim::stats::Counters;
+use hyperion_sim::time::Ns;
+
+/// Page size (4 KiB, the common case the paper's complexity argument is
+/// about).
+pub const PAGE_SIZE: u64 = 4_096;
+
+/// Data-TLB capacity (entries) — Skylake-class L2 STLB.
+pub const TLB_ENTRIES: usize = 1_536;
+
+/// Huge page size (2 MiB).
+pub const HUGE_PAGE_SIZE: u64 = 2 << 20;
+
+/// 2 MiB TLB capacity: the L2 STLB is shared between 4 KiB and 2 MiB
+/// entries on Skylake-class parts, so huge pages get the same budget.
+pub const HUGE_TLB_ENTRIES: usize = TLB_ENTRIES;
+
+/// Latency of a TLB hit (folded into the L1 access in real hardware).
+pub const TLB_HIT: Ns = Ns(1);
+
+/// DRAM access for one page-table node on a walk miss.
+pub const WALK_STEP_DRAM: Ns = Ns(60);
+
+/// Page-walk-cache hit cost for upper-level nodes.
+pub const WALK_STEP_CACHED: Ns = Ns(4);
+
+/// Levels of an x86-64 radix page table.
+pub const WALK_LEVELS: usize = 4;
+
+/// The translation model: TLB + page-walk cache over a radix table.
+///
+/// Supports 4 KiB base pages (4-level walk) and 2 MiB huge pages
+/// (3-level walk over 512x fewer pages) — the standard mitigation whose
+/// limits the §2.1 complexity argument cites (ref 45).
+#[derive(Debug)]
+pub struct PageWalker {
+    page_size: u64,
+    walk_levels: u8,
+    tlb_entries: usize,
+    tlb: HashMap<u64, u64>, // vpn -> insertion tick
+    tlb_fifo: std::collections::VecDeque<u64>,
+    /// Upper-level page table nodes already touched (the page-walk cache);
+    /// keyed by (level, index prefix).
+    walk_cache: HashMap<(u8, u64), ()>,
+    tick: u64,
+    /// `hits`, `misses`, `walk_steps_dram` counters.
+    pub counters: Counters,
+}
+
+impl PageWalker {
+    /// Creates an empty translation state (cold TLB and caches) with
+    /// 4 KiB pages.
+    pub fn new() -> PageWalker {
+        Self::with_page_size(PAGE_SIZE)
+    }
+
+    /// Creates a walker with the given page size (4096 or 2 MiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsupported page sizes.
+    pub fn with_page_size(page_size: u64) -> PageWalker {
+        let (walk_levels, tlb_entries) = match page_size {
+            PAGE_SIZE => (WALK_LEVELS as u8, TLB_ENTRIES),
+            HUGE_PAGE_SIZE => (3, HUGE_TLB_ENTRIES),
+            other => panic!("unsupported page size {other}"),
+        };
+        PageWalker {
+            page_size,
+            walk_levels,
+            tlb_entries,
+            tlb: HashMap::new(),
+            tlb_fifo: std::collections::VecDeque::new(),
+            walk_cache: HashMap::new(),
+            tick: 0,
+            counters: Counters::new(),
+        }
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Translates a virtual address, returning the added latency of the
+    /// translation machinery.
+    pub fn translate(&mut self, vaddr: u64) -> Ns {
+        self.tick += 1;
+        let vpn = vaddr / self.page_size;
+        if self.tlb.contains_key(&vpn) {
+            self.counters.bump("hits");
+            return TLB_HIT;
+        }
+        self.counters.bump("misses");
+        // Radix walk; upper levels hit the page-walk cache after first
+        // touch, the leaf level always goes to DRAM on a TLB miss.
+        let mut cost = TLB_HIT;
+        for level in 0..self.walk_levels {
+            let prefix = vpn >> (9 * (self.walk_levels - 1 - level) as u64);
+            let key = (level, prefix);
+            if level + 1 < self.walk_levels && self.walk_cache.contains_key(&key) {
+                cost += WALK_STEP_CACHED;
+            } else {
+                cost += WALK_STEP_DRAM;
+                self.counters.bump("walk_steps_dram");
+                self.walk_cache.insert(key, ());
+            }
+        }
+        // Fill the TLB (FIFO replacement).
+        if self.tlb.len() >= self.tlb_entries {
+            if let Some(evict) = self.tlb_fifo.pop_front() {
+                self.tlb.remove(&evict);
+            }
+        }
+        self.tlb.insert(vpn, self.tick);
+        self.tlb_fifo.push_back(vpn);
+        cost
+    }
+
+    /// TLB hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.counters.get("hits") as f64;
+        let m = self.counters.get("misses") as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+impl Default for PageWalker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_tlb() {
+        let mut w = PageWalker::new();
+        let first = w.translate(0x1000);
+        let second = w.translate(0x1000);
+        assert!(first > second);
+        assert_eq!(second, TLB_HIT);
+    }
+
+    #[test]
+    fn cold_walk_costs_four_dram_accesses() {
+        let mut w = PageWalker::new();
+        let cost = w.translate(0x0dea_dbee_f000);
+        assert_eq!(cost, TLB_HIT + WALK_STEP_DRAM * 4);
+    }
+
+    #[test]
+    fn walk_cache_softens_neighbor_misses() {
+        let mut w = PageWalker::new();
+        w.translate(0x20_0000); // warm upper levels
+        let neighbor = w.translate(0x20_1000); // same upper nodes, new leaf
+        assert!(neighbor < TLB_HIT + WALK_STEP_DRAM * 4);
+        assert!(neighbor >= TLB_HIT + WALK_STEP_DRAM); // leaf still misses
+    }
+
+    #[test]
+    fn tlb_capacity_bounds_working_set() {
+        let mut w = PageWalker::new();
+        // Touch 2x the TLB capacity, then re-touch the first page: evicted.
+        for i in 0..(TLB_ENTRIES as u64 * 2) {
+            w.translate(i * PAGE_SIZE);
+        }
+        let again = w.translate(0);
+        assert!(again > TLB_HIT, "page 0 must have been evicted");
+    }
+
+    #[test]
+    fn huge_pages_shorten_walks_and_cover_more_bytes() {
+        let mut small = PageWalker::new();
+        let mut huge = PageWalker::with_page_size(HUGE_PAGE_SIZE);
+        // Cold walk: 4 DRAM steps vs 3.
+        let c4k = small.translate(0x40_0000);
+        let c2m = huge.translate(0x40_0000);
+        assert_eq!(c4k, TLB_HIT + WALK_STEP_DRAM * 4);
+        assert_eq!(c2m, TLB_HIT + WALK_STEP_DRAM * 3);
+        // A 2 MiB page covers 512 base pages with one TLB entry.
+        for i in 0..512u64 {
+            let cost = huge.translate(0x40_0000 + i * PAGE_SIZE);
+            if i > 0 {
+                assert_eq!(cost, TLB_HIT, "page {i} must hit the huge TLB");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_tlb_is_small() {
+        let mut huge = PageWalker::with_page_size(HUGE_PAGE_SIZE);
+        for i in 0..(HUGE_TLB_ENTRIES as u64 * 2) {
+            huge.translate(i * HUGE_PAGE_SIZE);
+        }
+        // The first huge page has been evicted.
+        assert!(huge.translate(0) > TLB_HIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported page size")]
+    fn odd_page_sizes_rejected() {
+        let _ = PageWalker::with_page_size(12345);
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut w = PageWalker::new();
+        for _ in 0..9 {
+            w.translate(0x5000);
+        }
+        w.translate(0x9_9999_0000);
+        assert!(w.hit_rate() > 0.7);
+    }
+}

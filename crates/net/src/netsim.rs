@@ -1,0 +1,211 @@
+//! The rack network: nodes joined by a single cut-through switch.
+//!
+//! Hyperion follows the directly network-attached model (paper §2): DPUs,
+//! clients, and servers are all first-class nodes on the rack switch. Each
+//! node owns a full-duplex link; a message serializes on the sender's
+//! uplink, traverses the switch, and serializes on the receiver's downlink
+//! (which is where incast congestion appears).
+
+use hyperion_sim::resource::Link;
+use hyperion_sim::time::Ns;
+
+use crate::frame::wire_bytes_for_message;
+use crate::params;
+
+/// Identifies a node on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Errors from the network model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Referenced node does not exist.
+    UnknownNode(usize),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct Node {
+    uplink: Link,
+    downlink: Link,
+}
+
+/// The rack network.
+pub struct Network {
+    nodes: Vec<Node>,
+    switch_latency: Ns,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Network {
+    /// Creates an empty network with default switch latency.
+    pub fn new() -> Network {
+        Network {
+            nodes: Vec::new(),
+            switch_latency: params::SWITCH_LATENCY,
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Adds a node with full-duplex 100 GbE connectivity; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.add_node_with_bandwidth(params::LINK_100G_BPS)
+    }
+
+    /// Adds a node with a custom link bandwidth (bits/s).
+    pub fn add_node_with_bandwidth(&mut self, bps: u64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            uplink: Link::new("uplink", bps, params::RACK_PROPAGATION),
+            downlink: Link::new("downlink", bps, params::RACK_PROPAGATION),
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Delivers a `bytes`-long message from `src` to `dst`, starting no
+    /// earlier than `now`. Returns the arrival instant of the last byte.
+    ///
+    /// The message is packetized (per-packet header overhead), serializes
+    /// FIFO on the sender uplink and the receiver downlink, and pays one
+    /// switch traversal. Messages between distinct node pairs share only
+    /// the links they actually use.
+    pub fn deliver(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: Ns,
+        bytes: u64,
+    ) -> Result<Ns, NetError> {
+        let wire = wire_bytes_for_message(bytes);
+        if src.0 >= self.nodes.len() {
+            return Err(NetError::UnknownNode(src.0));
+        }
+        if dst.0 >= self.nodes.len() {
+            return Err(NetError::UnknownNode(dst.0));
+        }
+        self.messages += 1;
+        self.bytes += wire;
+        if src == dst {
+            // Loopback: no wire traversal, one switch-latency hop.
+            return Ok(now + self.switch_latency);
+        }
+        let up_done = self.nodes[src.0].uplink.transmit(now, wire);
+        let at_switch = up_done + self.switch_latency;
+        // Cut-through at message granularity: the downlink starts no
+        // earlier than the head arrives and re-serializes the wire bytes.
+        Ok(self.nodes[dst.0].downlink.transmit(at_switch, wire))
+    }
+
+    /// The idle (uncontended) one-way latency for a message of `bytes`.
+    pub fn base_latency(&self, bytes: u64) -> Ns {
+        let wire = wire_bytes_for_message(bytes);
+        let ser = hyperion_sim::serialization_delay(wire, params::LINK_100G_BPS);
+        // Uplink serialization + propagation + switch + downlink
+        // serialization + propagation.
+        ser + params::RACK_PROPAGATION + self.switch_latency + ser + params::RACK_PROPAGATION
+    }
+
+    /// Total messages delivered.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total wire bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("messages", &self.messages)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_message_latency_is_microsecond_class() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.deliver(a, b, Ns::ZERO, 64).unwrap();
+        // 2 x 500ns propagation + 300ns switch + 2 x ~12ns serialization.
+        assert!(t > Ns(1_300) && t < Ns(2_000), "latency {t}");
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_contend() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        let d = net.add_node();
+        let t1 = net.deliver(a, b, Ns::ZERO, 1 << 20).unwrap();
+        let t2 = net.deliver(c, d, Ns::ZERO, 1 << 20).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn incast_contends_on_receiver_downlink() {
+        let mut net = Network::new();
+        let sinks = net.add_node();
+        let s1 = net.add_node();
+        let s2 = net.add_node();
+        let t1 = net.deliver(s1, sinks, Ns::ZERO, 1 << 20).unwrap();
+        let t2 = net.deliver(s2, sinks, Ns::ZERO, 1 << 20).unwrap();
+        assert!(t2 > t1, "second sender must queue at the downlink");
+    }
+
+    #[test]
+    fn unknown_nodes_error() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        assert!(net.deliver(a, NodeId(7), Ns::ZERO, 10).is_err());
+    }
+
+    #[test]
+    fn loopback_skips_the_wire() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let t = net.deliver(a, a, Ns::ZERO, 1 << 20).unwrap();
+        assert_eq!(t, Ns::ZERO + params::SWITCH_LATENCY);
+    }
+
+    #[test]
+    fn base_latency_matches_uncontended_delivery() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let est = net.base_latency(4096);
+        let t = net.deliver(a, b, Ns::ZERO, 4096).unwrap();
+        assert_eq!(t, est);
+    }
+}

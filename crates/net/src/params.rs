@@ -1,0 +1,46 @@
+//! Calibration constants for the network substrate.
+//!
+//! The Hyperion prototype exposes 2x100 Gbps Ethernet QSFP28 ports (paper
+//! §2, Figure 2) on an in-rack network. Constants follow common data-center
+//! measurements; as with all model parameters, experiments report ratios
+//! and shapes, not these values.
+
+use hyperion_sim::time::Ns;
+
+/// Line rate of one QSFP28 port.
+pub const LINK_100G_BPS: u64 = 100_000_000_000;
+
+/// One-way propagation within a rack (fiber + PHY).
+pub const RACK_PROPAGATION: Ns = Ns(500);
+
+/// Cut-through switch traversal latency.
+pub const SWITCH_LATENCY: Ns = Ns(300);
+
+/// Standard Ethernet MTU payload.
+pub const MTU: u64 = 1500;
+
+/// Ethernet + IP + transport header overhead per packet (14 + 20 + 20
+/// rounded, plus preamble/IFG accounted as bytes on the wire).
+pub const HEADER_BYTES: u64 = 78;
+
+/// Per-message endpoint cost of a hardware (FPGA) network pipeline:
+/// parse/steer in a few pipeline stages.
+pub const HW_ENDPOINT: Ns = Ns(150);
+
+/// Per-message endpoint cost of a kernel socket stack (syscall, softirq,
+/// skb handling, copy) — the CPU-centric path the paper wants off the
+/// critical path (§1).
+pub const KERNEL_ENDPOINT: Ns = Ns(3_000);
+
+/// Per-message endpoint cost of a kernel-bypass (DPDK-class) stack.
+pub const BYPASS_ENDPOINT: Ns = Ns(700);
+
+/// RDMA NIC processing per verb (hardware offloaded).
+pub const RDMA_NIC: Ns = Ns(250);
+
+/// Initial congestion window for the TCP model (10 MSS, RFC 6928).
+pub const TCP_INIT_CWND: u64 = 10;
+
+/// Homa's unscheduled window: bytes a sender may blast before grants
+/// (RTTbytes at 100 Gbps with ~5 us RTT ≈ 60 KiB; we use 64 KiB).
+pub const HOMA_UNSCHEDULED: u64 = 64 * 1024;

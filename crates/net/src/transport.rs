@@ -1,0 +1,308 @@
+//! Application-defined transports: UDP, TCP, RDMA, Homa.
+//!
+//! Paper §2: "The end-to-end hardware path can be specialized with ... an
+//! application-defined network transport (TCP, UDP, RDMA, HOMA)". The four
+//! models share the same wire (the [`Network`]) but differ in endpoint
+//! costs, reliability machinery, and multi-round behaviour — the properties
+//! that move the pointer-chasing and middleware experiments.
+
+use hyperion_sim::time::Ns;
+
+use crate::frame::packets_for_message;
+use crate::netsim::{NetError, Network, NodeId};
+use crate::params;
+
+/// Who processes messages at a node: the paper's contrast between
+/// CPU-free hardware pipelines and host software stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// An in-fabric pipeline (Hyperion): parse/steer in hardware.
+    Hardware,
+    /// A kernel socket stack (syscalls, softirq, copies).
+    Kernel,
+    /// A kernel-bypass userspace stack (DPDK-class).
+    Bypass,
+}
+
+impl EndpointKind {
+    /// Fixed per-message processing cost.
+    pub fn per_message(self) -> Ns {
+        match self {
+            EndpointKind::Hardware => params::HW_ENDPOINT,
+            EndpointKind::Kernel => params::KERNEL_ENDPOINT,
+            EndpointKind::Bypass => params::BYPASS_ENDPOINT,
+        }
+    }
+
+    /// Additional per-packet processing cost (beyond the first packet).
+    pub fn per_packet(self) -> Ns {
+        match self {
+            EndpointKind::Hardware => Ns(10),
+            EndpointKind::Kernel => Ns(500),
+            EndpointKind::Bypass => Ns(100),
+        }
+    }
+
+    fn processing(self, bytes: u64) -> Ns {
+        let extra = packets_for_message(bytes).saturating_sub(1);
+        self.per_message() + self.per_packet() * extra
+    }
+}
+
+/// A network endpoint: a node plus its processing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The node on the rack network.
+    pub node: NodeId,
+    /// How this node processes messages.
+    pub kind: EndpointKind,
+}
+
+impl Endpoint {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, kind: EndpointKind) -> Endpoint {
+        Endpoint { node, kind }
+    }
+}
+
+/// The transport protocol in use on a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// Unreliable datagrams.
+    Udp,
+    /// Reliable byte stream with slow-start window growth.
+    Tcp,
+    /// One-sided remote memory verbs; the remote CPU is bypassed.
+    Rdma,
+    /// Receiver-driven (grant-based) datacenter transport.
+    Homa,
+}
+
+impl TransportKind {
+    /// All transports, in the order the paper lists them (§2).
+    pub const ALL: [TransportKind; 4] = [
+        TransportKind::Tcp,
+        TransportKind::Udp,
+        TransportKind::Homa,
+        TransportKind::Rdma,
+    ];
+
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Udp => "udp",
+            TransportKind::Tcp => "tcp",
+            TransportKind::Rdma => "rdma",
+            TransportKind::Homa => "homa",
+        }
+    }
+}
+
+/// Outcome of a one-way message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Instant the message is fully processed at the receiver.
+    pub done: Ns,
+    /// Network round trips consumed (1 one-way traversal = 0 extra RTTs;
+    /// window/grant rounds add whole RTTs).
+    pub wire_rounds: u64,
+}
+
+/// A transport instance (stateless; connection state is abstracted into
+/// the per-message cost model).
+#[derive(Debug, Clone, Copy)]
+pub struct Transport {
+    kind: TransportKind,
+}
+
+impl Transport {
+    /// Creates a transport of the given kind.
+    pub fn new(kind: TransportKind) -> Transport {
+        Transport { kind }
+    }
+
+    /// The protocol in use.
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Extra full RTTs a message of `bytes` needs beyond its first
+    /// traversal (TCP slow-start rounds, Homa grant round).
+    fn extra_rounds(&self, bytes: u64) -> u64 {
+        match self.kind {
+            TransportKind::Udp | TransportKind::Rdma => 0,
+            TransportKind::Tcp => {
+                // Slow start from the initial window, doubling per RTT.
+                let mut window = params::TCP_INIT_CWND * params::MTU;
+                let mut rounds = 0;
+                let mut sent = window.min(bytes);
+                while sent < bytes {
+                    window *= 2;
+                    sent = (sent + window).min(bytes);
+                    rounds += 1;
+                }
+                rounds
+            }
+            TransportKind::Homa => {
+                // Unscheduled bytes go immediately; anything longer waits
+                // one grant round, after which grants pipeline with data.
+                if bytes > params::HOMA_UNSCHEDULED {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Endpoint cost at the receiver; RDMA one-sided verbs bypass the
+    /// remote processor entirely and pay only the NIC.
+    fn rx_cost(&self, ep: EndpointKind, bytes: u64) -> Ns {
+        match self.kind {
+            TransportKind::Rdma => params::RDMA_NIC,
+            _ => ep.processing(bytes),
+        }
+    }
+
+    fn tx_cost(&self, ep: EndpointKind, bytes: u64) -> Ns {
+        match self.kind {
+            TransportKind::Rdma => params::RDMA_NIC,
+            _ => ep.processing(bytes),
+        }
+    }
+
+    /// Sends one message and returns its delivery outcome.
+    pub fn send(
+        &self,
+        net: &mut Network,
+        from: Endpoint,
+        to: Endpoint,
+        now: Ns,
+        bytes: u64,
+    ) -> Result<Delivery, NetError> {
+        let start = now + self.tx_cost(from.kind, bytes);
+        let rounds = self.extra_rounds(bytes);
+        // Each extra round costs one base RTT of control traffic before
+        // the tail of the data lands.
+        let round_penalty = net.base_latency(64) * rounds;
+        let arrival = net.deliver(from.node, to.node, start, bytes)?;
+        let done = arrival + round_penalty + self.rx_cost(to.kind, bytes);
+        Ok(Delivery {
+            done,
+            wire_rounds: rounds,
+        })
+    }
+
+    /// A full request/response exchange: client → server (request),
+    /// `server_work` at the server, server → client (response).
+    ///
+    /// Returns the completion instant at the client and the total number
+    /// of one-way traversals consumed (for RTT accounting in E6).
+    ///
+    /// For RDMA this models a one-sided READ: the request is a verb header
+    /// and the server's *CPU* contributes no work (`server_work` is still
+    /// charged — it stands for device-side work like a flash read — but no
+    /// kernel processing is added).
+    #[allow(clippy::too_many_arguments)]
+    pub fn request(
+        &self,
+        net: &mut Network,
+        client: Endpoint,
+        server: Endpoint,
+        now: Ns,
+        req_bytes: u64,
+        resp_bytes: u64,
+        server_work: Ns,
+    ) -> Result<Delivery, NetError> {
+        let req = self.send(net, client, server, now, req_bytes)?;
+        let served = req.done + server_work;
+        let resp = self.send(net, server, client, served, resp_bytes)?;
+        Ok(Delivery {
+            done: resp.done,
+            wire_rounds: 1 + req.wire_rounds + resp.wire_rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(kind: EndpointKind) -> (Network, Endpoint, Endpoint) {
+        let mut net = Network::new();
+        let a = Endpoint::new(net.add_node(), kind);
+        let b = Endpoint::new(net.add_node(), kind);
+        (net, a, b)
+    }
+
+    #[test]
+    fn udp_small_message_is_fast() {
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        let d = Transport::new(TransportKind::Udp)
+            .send(&mut net, a, b, Ns::ZERO, 64)
+            .unwrap();
+        assert!(d.done < Ns(3_000), "udp small message: {}", d.done);
+        assert_eq!(d.wire_rounds, 0);
+    }
+
+    #[test]
+    fn tcp_pays_slow_start_on_large_messages() {
+        let (mut net, a, b) = pair(EndpointKind::Kernel);
+        let tcp = Transport::new(TransportKind::Tcp);
+        let small = tcp.send(&mut net, a, b, Ns::ZERO, 1_000).unwrap();
+        assert_eq!(small.wire_rounds, 0);
+        let large = tcp.send(&mut net, a, b, Ns::ZERO, 1_000_000).unwrap();
+        assert!(large.wire_rounds >= 3, "rounds: {}", large.wire_rounds);
+    }
+
+    #[test]
+    fn rdma_bypasses_kernel_endpoints() {
+        let (mut net, a, b) = pair(EndpointKind::Kernel);
+        let udp = Transport::new(TransportKind::Udp)
+            .send(&mut net, a, b, Ns::ZERO, 4096)
+            .unwrap();
+        let (mut net2, a2, b2) = pair(EndpointKind::Kernel);
+        let rdma = Transport::new(TransportKind::Rdma)
+            .send(&mut net2, a2, b2, Ns::ZERO, 4096)
+            .unwrap();
+        assert!(
+            rdma.done + Ns(4_000) < udp.done,
+            "rdma {} vs udp {}",
+            rdma.done,
+            udp.done
+        );
+    }
+
+    #[test]
+    fn homa_is_udp_like_until_unscheduled_limit() {
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        let homa = Transport::new(TransportKind::Homa);
+        let short = homa.send(&mut net, a, b, Ns::ZERO, 32 * 1024).unwrap();
+        assert_eq!(short.wire_rounds, 0);
+        let long = homa.send(&mut net, a, b, Ns::ZERO, 256 * 1024).unwrap();
+        assert_eq!(long.wire_rounds, 1);
+    }
+
+    #[test]
+    fn request_counts_one_rtt_minimum() {
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        let d = Transport::new(TransportKind::Udp)
+            .request(&mut net, a, b, Ns::ZERO, 64, 4096, Ns(1_000))
+            .unwrap();
+        assert_eq!(d.wire_rounds, 1);
+        assert!(d.done > Ns(1_000));
+    }
+
+    #[test]
+    fn hardware_endpoints_beat_kernel_endpoints() {
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        let hw = Transport::new(TransportKind::Udp)
+            .request(&mut net, a, b, Ns::ZERO, 64, 64, Ns::ZERO)
+            .unwrap();
+        let (mut net2, a2, b2) = pair(EndpointKind::Kernel);
+        let sw = Transport::new(TransportKind::Udp)
+            .request(&mut net2, a2, b2, Ns::ZERO, 64, 64, Ns::ZERO)
+            .unwrap();
+        assert!(sw.done > hw.done + Ns(8_000), "hw {} sw {}", hw.done, sw.done);
+    }
+}

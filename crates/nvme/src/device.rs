@@ -1,0 +1,713 @@
+//! The NVMe device: controller, namespaces, and command execution.
+//!
+//! One [`NvmeDevice`] is one SSD behind the PCIe crossover board (Figure 1
+//! shows four). A device exposes one namespace of a given
+//! [`NamespaceKind`]: conventional block, ZNS (zoned), or KV — the storage
+//! interface specializations the paper lists in §2 ("storage API (NVMoF,
+//! KV, ZNS)") and §2.4 (KV-SSD, Corfu-SSD).
+//!
+//! Commands execute against *real state* (block contents, zone write
+//! pointers, the KV map) while timing comes from the flash array, so the
+//! file system / LSM / shared-log layers above get both correctness and a
+//! faithful latency/queueing profile.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use hyperion_sim::energy::{EnergyMeter, Pj};
+use hyperion_sim::stats::Counters;
+use hyperion_sim::time::Ns;
+
+use crate::flash::{FlashArray, FlashOp};
+use crate::params;
+
+/// What a namespace is specialized as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamespaceKind {
+    /// Conventional block namespace.
+    Block,
+    /// Zoned namespace (ZNS): sequential-write zones with appends.
+    Zoned,
+    /// Key-value namespace (KV-SSD).
+    KeyValue,
+}
+
+/// An NVMe command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Read `blocks` LBAs starting at `lba`.
+    Read {
+        /// Starting logical block.
+        lba: u64,
+        /// Number of logical blocks.
+        blocks: u32,
+    },
+    /// Write `data` (must be a multiple of the LBA size) at `lba`.
+    Write {
+        /// Starting logical block.
+        lba: u64,
+        /// Data; length must be a non-zero multiple of the LBA size.
+        data: Bytes,
+    },
+    /// Flush volatile state (modeled as a controller round trip).
+    Flush,
+    /// Append `data` to the tail of `zone`; the device assigns the LBA.
+    ZoneAppend {
+        /// Zone index.
+        zone: u64,
+        /// Data; length must be a non-zero multiple of the LBA size.
+        data: Bytes,
+    },
+    /// Reset `zone` to empty (erases its blocks).
+    ZoneReset {
+        /// Zone index.
+        zone: u64,
+    },
+    /// Look up a key.
+    KvGet {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Store a key/value pair.
+    KvPut {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Remove a key.
+    KvDelete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+/// The data portion of a completed command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Read or KvGet payload.
+    Data(Bytes),
+    /// Write/append acknowledgement carrying the assigned starting LBA.
+    Written {
+        /// First LBA the data landed at.
+        lba: u64,
+    },
+    /// Generic success.
+    Ok,
+    /// KV lookup miss.
+    NotFound,
+}
+
+/// A completed command: payload plus the completion instant.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Result payload.
+    pub response: Response,
+    /// When the completion entry is posted.
+    pub done: Ns,
+}
+
+/// Errors surfaced as NVMe status codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmeError {
+    /// LBA range exceeds namespace capacity.
+    OutOfRange {
+        /// Offending LBA.
+        lba: u64,
+    },
+    /// Write data not a positive multiple of the LBA size.
+    BadLength(usize),
+    /// Zone index out of range.
+    NoSuchZone(u64),
+    /// Zone has no room for the append.
+    ZoneFull(u64),
+    /// Command not supported by this namespace kind.
+    WrongNamespace {
+        /// The namespace kind that rejected the command.
+        kind: NamespaceKind,
+    },
+}
+
+impl std::fmt::Display for NvmeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmeError::OutOfRange { lba } => write!(f, "LBA {lba} out of range"),
+            NvmeError::BadLength(l) => write!(f, "bad data length {l}"),
+            NvmeError::NoSuchZone(z) => write!(f, "no such zone {z}"),
+            NvmeError::ZoneFull(z) => write!(f, "zone {z} is full"),
+            NvmeError::WrongNamespace { kind } => {
+                write!(f, "command not supported on {kind:?} namespace")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmeError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ZoneCond {
+    Empty,
+    Open,
+    Full,
+}
+
+#[derive(Debug)]
+struct Zone {
+    write_pointer: u64, // LBAs written within the zone
+    cond: ZoneCond,
+}
+
+/// One NVMe SSD.
+#[derive(Debug)]
+pub struct NvmeDevice {
+    kind: NamespaceKind,
+    capacity_lbas: u64,
+    flash: FlashArray,
+    blocks: HashMap<u64, Bytes>,
+    zones: Vec<Zone>,
+    kv: BTreeMap<Vec<u8>, Bytes>,
+    /// Device energy meter (idle power plus per-byte flash energy).
+    pub energy: EnergyMeter,
+    /// `reads`/`writes`/`appends`/... structural counters.
+    pub counters: Counters,
+    kv_page_cursor: u64,
+}
+
+impl NvmeDevice {
+    /// Creates a conventional block-namespace SSD.
+    pub fn new_block(capacity_lbas: u64) -> NvmeDevice {
+        Self::new(NamespaceKind::Block, capacity_lbas)
+    }
+
+    /// Creates a ZNS SSD; capacity is rounded down to whole zones.
+    pub fn new_zoned(capacity_lbas: u64) -> NvmeDevice {
+        let mut d = Self::new(NamespaceKind::Zoned, capacity_lbas);
+        let zones = capacity_lbas / params::ZONE_LBAS;
+        d.zones = (0..zones)
+            .map(|_| Zone {
+                write_pointer: 0,
+                cond: ZoneCond::Empty,
+            })
+            .collect();
+        d
+    }
+
+    /// Creates a KV-SSD.
+    pub fn new_kv(capacity_lbas: u64) -> NvmeDevice {
+        Self::new(NamespaceKind::KeyValue, capacity_lbas)
+    }
+
+    fn new(kind: NamespaceKind, capacity_lbas: u64) -> NvmeDevice {
+        NvmeDevice {
+            kind,
+            capacity_lbas,
+            flash: FlashArray::new(),
+            blocks: HashMap::new(),
+            zones: Vec::new(),
+            kv: BTreeMap::new(),
+            energy: EnergyMeter::new(params::SSD_IDLE_POWER),
+            counters: Counters::new(),
+            kv_page_cursor: 0,
+        }
+    }
+
+    /// The namespace kind.
+    pub fn kind(&self) -> NamespaceKind {
+        self.kind
+    }
+
+    /// Namespace capacity in LBAs.
+    pub fn capacity_lbas(&self) -> u64 {
+        self.capacity_lbas
+    }
+
+    /// Number of zones (zero unless zoned).
+    pub fn num_zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// A zone's write pointer in LBAs (for tests and the shared log).
+    pub fn zone_write_pointer(&self, zone: u64) -> Option<u64> {
+        self.zones.get(zone as usize).map(|z| z.write_pointer)
+    }
+
+    /// Flash operation counts `(reads, programs, erases)`.
+    pub fn flash_ops(&self) -> (u64, u64, u64) {
+        self.flash.op_counts()
+    }
+
+    fn page_of(lba: u64) -> u64 {
+        lba * params::LBA_SIZE / params::PAGE_SIZE
+    }
+
+    fn read_pages(&mut self, lba: u64, blocks: u64, now: Ns) -> Ns {
+        let first = Self::page_of(lba);
+        let last = Self::page_of(lba + blocks - 1);
+        let mut done = now;
+        for p in first..=last {
+            done = done.max(self.flash.access(FlashOp::Read, p, now));
+        }
+        self.energy.charge(Pj(
+            (blocks * params::LBA_SIZE) as u128 * params::READ_PJ_PER_BYTE as u128,
+        ));
+        done
+    }
+
+    fn program_pages(&mut self, lba: u64, blocks: u64, now: Ns) -> Ns {
+        let first = Self::page_of(lba);
+        let last = Self::page_of(lba + blocks - 1);
+        let mut done = now;
+        for p in first..=last {
+            done = done.max(self.flash.access(FlashOp::Program, p, now));
+        }
+        self.energy.charge(Pj(
+            (blocks * params::LBA_SIZE) as u128 * params::PROGRAM_PJ_PER_BYTE as u128,
+        ));
+        done
+    }
+
+    /// Executes a command arriving at the controller at `now`.
+    ///
+    /// Timing includes controller overhead plus flash work; state changes
+    /// are applied synchronously (the simulated completion instant tells
+    /// callers when they become visible).
+    pub fn submit(&mut self, cmd: Command, now: Ns) -> Result<Completion, NvmeError> {
+        let start = now + params::CONTROLLER_OVERHEAD;
+        match cmd {
+            Command::Read { lba, blocks } => {
+                // Reads are legal on both conventional and zoned
+                // namespaces (ZNS restricts writes, not reads).
+                if self.kind == NamespaceKind::KeyValue {
+                    return Err(NvmeError::WrongNamespace { kind: self.kind });
+                }
+                let blocks = blocks as u64;
+                self.check_range(lba, blocks)?;
+                self.counters.bump("reads");
+                let done = self.read_pages(lba, blocks, start);
+                let mut out = Vec::with_capacity((blocks * params::LBA_SIZE) as usize);
+                for b in 0..blocks {
+                    match self.blocks.get(&(lba + b)) {
+                        Some(data) => out.extend_from_slice(data),
+                        None => out.extend(std::iter::repeat_n(0u8, params::LBA_SIZE as usize)),
+                    }
+                }
+                Ok(Completion {
+                    response: Response::Data(Bytes::from(out)),
+                    done,
+                })
+            }
+            Command::Write { lba, data } => {
+                self.require(NamespaceKind::Block)?;
+                let blocks = Self::blocks_in(&data)?;
+                self.check_range(lba, blocks)?;
+                self.counters.bump("writes");
+                let done = self.program_pages(lba, blocks, start);
+                self.store_blocks(lba, &data);
+                Ok(Completion {
+                    response: Response::Written { lba },
+                    done,
+                })
+            }
+            Command::Flush => {
+                self.counters.bump("flushes");
+                Ok(Completion {
+                    response: Response::Ok,
+                    done: start,
+                })
+            }
+            Command::ZoneAppend { zone, data } => {
+                self.require(NamespaceKind::Zoned)?;
+                let blocks = Self::blocks_in(&data)?;
+                let nzones = self.zones.len() as u64;
+                let z = self
+                    .zones
+                    .get_mut(zone as usize)
+                    .ok_or(NvmeError::NoSuchZone(zone))?;
+                if z.write_pointer + blocks > params::ZONE_LBAS {
+                    z.cond = ZoneCond::Full;
+                    return Err(NvmeError::ZoneFull(zone));
+                }
+                let _ = nzones;
+                let lba = zone * params::ZONE_LBAS + z.write_pointer;
+                z.write_pointer += blocks;
+                z.cond = if z.write_pointer == params::ZONE_LBAS {
+                    ZoneCond::Full
+                } else {
+                    ZoneCond::Open
+                };
+                self.counters.bump("appends");
+                let done = self.program_pages(lba, blocks, start);
+                self.store_blocks(lba, &data);
+                Ok(Completion {
+                    response: Response::Written { lba },
+                    done,
+                })
+            }
+            Command::ZoneReset { zone } => {
+                self.require(NamespaceKind::Zoned)?;
+                let z = self
+                    .zones
+                    .get_mut(zone as usize)
+                    .ok_or(NvmeError::NoSuchZone(zone))?;
+                z.write_pointer = 0;
+                z.cond = ZoneCond::Empty;
+                self.counters.bump("zone_resets");
+                // Erase every block the zone spans; erases on distinct dies
+                // overlap.
+                let first_page = Self::page_of(zone * params::ZONE_LBAS);
+                let pages = params::ZONE_LBAS * params::LBA_SIZE / params::PAGE_SIZE;
+                let nblocks = pages / params::PAGES_PER_BLOCK;
+                let mut done = start;
+                for b in 0..nblocks {
+                    let page = first_page + b * params::PAGES_PER_BLOCK;
+                    done = done.max(self.flash.access(FlashOp::Erase, page, start));
+                }
+                let base = zone * params::ZONE_LBAS;
+                self.blocks.retain(|&lba, _| lba < base || lba >= base + params::ZONE_LBAS);
+                Ok(Completion {
+                    response: Response::Ok,
+                    done,
+                })
+            }
+            Command::KvGet { key } => {
+                self.require(NamespaceKind::KeyValue)?;
+                self.counters.bump("kv_gets");
+                match self.kv.get(&key).cloned() {
+                    Some(value) => {
+                        let pages = (value.len() as u64).div_ceil(params::PAGE_SIZE).max(1);
+                        let cursor = key_page(&key);
+                        let mut done = start;
+                        for p in 0..pages {
+                            done = done.max(self.flash.access(FlashOp::Read, cursor + p, start));
+                        }
+                        self.energy.charge(Pj(
+                            value.len() as u128 * params::READ_PJ_PER_BYTE as u128
+                        ));
+                        Ok(Completion {
+                            response: Response::Data(value),
+                            done,
+                        })
+                    }
+                    None => Ok(Completion {
+                        response: Response::NotFound,
+                        done: start,
+                    }),
+                }
+            }
+            Command::KvPut { key, value } => {
+                self.require(NamespaceKind::KeyValue)?;
+                self.counters.bump("kv_puts");
+                let pages = (value.len() as u64).div_ceil(params::PAGE_SIZE).max(1);
+                let cursor = self.kv_page_cursor;
+                self.kv_page_cursor += pages;
+                let mut done = start;
+                for p in 0..pages {
+                    done = done.max(self.flash.access(FlashOp::Program, cursor + p, start));
+                }
+                self.energy
+                    .charge(Pj(value.len() as u128 * params::PROGRAM_PJ_PER_BYTE as u128));
+                self.kv.insert(key, value);
+                Ok(Completion {
+                    response: Response::Ok,
+                    done,
+                })
+            }
+            Command::KvDelete { key } => {
+                self.require(NamespaceKind::KeyValue)?;
+                self.counters.bump("kv_deletes");
+                let found = self.kv.remove(&key).is_some();
+                Ok(Completion {
+                    response: if found { Response::Ok } else { Response::NotFound },
+                    done: start,
+                })
+            }
+        }
+    }
+
+    fn require(&self, kind: NamespaceKind) -> Result<(), NvmeError> {
+        if self.kind == kind {
+            Ok(())
+        } else {
+            Err(NvmeError::WrongNamespace { kind: self.kind })
+        }
+    }
+
+    fn check_range(&self, lba: u64, blocks: u64) -> Result<(), NvmeError> {
+        if lba + blocks > self.capacity_lbas {
+            Err(NvmeError::OutOfRange { lba: lba + blocks })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn blocks_in(data: &Bytes) -> Result<u64, NvmeError> {
+        let len = data.len();
+        if len == 0 || !len.is_multiple_of(params::LBA_SIZE as usize) {
+            Err(NvmeError::BadLength(len))
+        } else {
+            Ok((len / params::LBA_SIZE as usize) as u64)
+        }
+    }
+
+    fn store_blocks(&mut self, lba: u64, data: &Bytes) {
+        for (i, chunk) in data.chunks(params::LBA_SIZE as usize).enumerate() {
+            self.blocks
+                .insert(lba + i as u64, Bytes::copy_from_slice(chunk));
+        }
+    }
+}
+
+/// Deterministic timing placement for KV keys on the flash array.
+fn key_page(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h % (1 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lba_data(fill: u8, blocks: usize) -> Bytes {
+        Bytes::from(vec![fill; blocks * params::LBA_SIZE as usize])
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        d.submit(
+            Command::Write {
+                lba: 100,
+                data: lba_data(0xAB, 2),
+            },
+            Ns::ZERO,
+        )
+        .unwrap();
+        let c = d
+            .submit(Command::Read { lba: 100, blocks: 2 }, Ns::ZERO)
+            .unwrap();
+        match c.response {
+            Response::Data(data) => {
+                assert_eq!(data.len(), 2 * params::LBA_SIZE as usize);
+                assert!(data.iter().all(|&b| b == 0xAB));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        let c = d
+            .submit(Command::Read { lba: 5, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        match c.response {
+            Response::Data(data) => assert!(data.iter().all(|&b| b == 0)),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_latency_is_flash_class() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        let c = d
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        // Controller + tR + bus: ~65-70 us.
+        assert!(c.done > Ns(60_000) && c.done < Ns(90_000), "read took {}", c.done);
+    }
+
+    #[test]
+    fn write_latency_exceeds_read_latency() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        let w = d
+            .submit(
+                Command::Write {
+                    lba: 0,
+                    data: lba_data(1, 1),
+                },
+                Ns::ZERO,
+            )
+            .unwrap();
+        let mut d2 = NvmeDevice::new_block(1 << 20);
+        let r = d2
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        assert!(w.done > r.done * 5);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = NvmeDevice::new_block(10);
+        assert!(matches!(
+            d.submit(Command::Read { lba: 9, blocks: 2 }, Ns::ZERO),
+            Err(NvmeError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_write_rejected() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        assert!(matches!(
+            d.submit(
+                Command::Write {
+                    lba: 0,
+                    data: Bytes::from_static(&[1, 2, 3]),
+                },
+                Ns::ZERO,
+            ),
+            Err(NvmeError::BadLength(3))
+        ));
+    }
+
+    #[test]
+    fn zone_append_assigns_sequential_lbas() {
+        let mut d = NvmeDevice::new_zoned(4 * params::ZONE_LBAS);
+        assert_eq!(d.num_zones(), 4);
+        let c1 = d
+            .submit(
+                Command::ZoneAppend {
+                    zone: 1,
+                    data: lba_data(1, 1),
+                },
+                Ns::ZERO,
+            )
+            .unwrap();
+        let c2 = d
+            .submit(
+                Command::ZoneAppend {
+                    zone: 1,
+                    data: lba_data(2, 2),
+                },
+                Ns::ZERO,
+            )
+            .unwrap();
+        match (c1.response, c2.response) {
+            (Response::Written { lba: a }, Response::Written { lba: b }) => {
+                assert_eq!(a, params::ZONE_LBAS);
+                assert_eq!(b, params::ZONE_LBAS + 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(d.zone_write_pointer(1), Some(3));
+    }
+
+    #[test]
+    fn zone_reset_rewinds_write_pointer() {
+        let mut d = NvmeDevice::new_zoned(2 * params::ZONE_LBAS);
+        d.submit(
+            Command::ZoneAppend {
+                zone: 0,
+                data: lba_data(1, 1),
+            },
+            Ns::ZERO,
+        )
+        .unwrap();
+        d.submit(Command::ZoneReset { zone: 0 }, Ns::ZERO).unwrap();
+        assert_eq!(d.zone_write_pointer(0), Some(0));
+    }
+
+    #[test]
+    fn zone_full_is_reported() {
+        let mut d = NvmeDevice::new_zoned(params::ZONE_LBAS);
+        // Fill the zone in two large appends, then overflow.
+        let half = params::ZONE_LBAS / 2;
+        for _ in 0..2 {
+            d.submit(
+                Command::ZoneAppend {
+                    zone: 0,
+                    data: lba_data(7, half as usize),
+                },
+                Ns::ZERO,
+            )
+            .unwrap();
+        }
+        assert!(matches!(
+            d.submit(
+                Command::ZoneAppend {
+                    zone: 0,
+                    data: lba_data(7, 1),
+                },
+                Ns::ZERO,
+            ),
+            Err(NvmeError::ZoneFull(0))
+        ));
+    }
+
+    #[test]
+    fn kv_namespace_round_trip() {
+        let mut d = NvmeDevice::new_kv(1 << 20);
+        d.submit(
+            Command::KvPut {
+                key: b"alpha".to_vec(),
+                value: Bytes::from_static(b"value-1"),
+            },
+            Ns::ZERO,
+        )
+        .unwrap();
+        let c = d
+            .submit(
+                Command::KvGet {
+                    key: b"alpha".to_vec(),
+                },
+                Ns::ZERO,
+            )
+            .unwrap();
+        assert_eq!(c.response, Response::Data(Bytes::from_static(b"value-1")));
+        let miss = d
+            .submit(
+                Command::KvGet {
+                    key: b"beta".to_vec(),
+                },
+                Ns::ZERO,
+            )
+            .unwrap();
+        assert_eq!(miss.response, Response::NotFound);
+        d.submit(
+            Command::KvDelete {
+                key: b"alpha".to_vec(),
+            },
+            Ns::ZERO,
+        )
+        .unwrap();
+        let gone = d
+            .submit(
+                Command::KvGet {
+                    key: b"alpha".to_vec(),
+                },
+                Ns::ZERO,
+            )
+            .unwrap();
+        assert_eq!(gone.response, Response::NotFound);
+    }
+
+    #[test]
+    fn namespace_kinds_reject_foreign_commands() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        assert!(matches!(
+            d.submit(
+                Command::KvGet { key: vec![1] },
+                Ns::ZERO
+            ),
+            Err(NvmeError::WrongNamespace { .. })
+        ));
+        let mut z = NvmeDevice::new_zoned(params::ZONE_LBAS);
+        // Reads are fine on zoned namespaces; random writes are not.
+        assert!(z
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .is_ok());
+        assert!(matches!(
+            z.submit(
+                Command::Write {
+                    lba: 0,
+                    data: Bytes::from(vec![0u8; params::LBA_SIZE as usize]),
+                },
+                Ns::ZERO,
+            ),
+            Err(NvmeError::WrongNamespace { .. })
+        ));
+    }
+}

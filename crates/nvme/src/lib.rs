@@ -1,0 +1,29 @@
+//! # hyperion-nvme — the NVMe flash substrate
+//!
+//! Models the four off-the-shelf NVMe SSDs attached to the Hyperion board
+//! through the PCIe crossover (paper §2, Figure 1):
+//!
+//! * [`flash`] — NAND timing (read/program/erase asymmetry) with channel
+//!   and die parallelism, so queueing behaviour is realistic;
+//! * [`device`] — the controller plus three namespace specializations the
+//!   paper names (§2, §2.4): conventional **block**, **ZNS** zones with
+//!   appends, and a **KV-SSD**. Commands mutate real state, so higher
+//!   layers (file system, LSM, Corfu log) get correctness and timing from
+//!   the same calls;
+//! * [`queue`] — SQ/CQ pairs with depth-based backpressure.
+//!
+//! The FPGA-hosted root complex that makes these devices reachable without
+//! a host CPU lives in `hyperion-pcie`; the NVMe-oF network target lives in
+//! the `hyperion` core crate where transports are available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod flash;
+pub mod params;
+pub mod queue;
+
+pub use device::{Command, Completion, NamespaceKind, NvmeDevice, NvmeError, Response};
+pub use flash::{FlashArray, FlashOp};
+pub use queue::QueuePair;

@@ -1,0 +1,58 @@
+//! Calibration constants for the NVMe flash model.
+//!
+//! Figures follow published TLC NAND datasheets and NVMe SSD measurements
+//! (e.g. the device classes used in the ReFlex/i10/ZNS literature the paper
+//! cites). As everywhere in this reproduction, experiments report ratios
+//! and shapes, not these constants.
+
+use hyperion_sim::energy::MilliWatts;
+use hyperion_sim::time::Ns;
+
+/// Logical block size.
+pub const LBA_SIZE: u64 = 4_096;
+
+/// NAND page size.
+pub const PAGE_SIZE: u64 = 16_384;
+
+/// Pages per erase block.
+pub const PAGES_PER_BLOCK: u64 = 256;
+
+/// Flash channels per SSD.
+pub const CHANNELS: usize = 8;
+
+/// Dies per channel.
+pub const DIES_PER_CHANNEL: usize = 4;
+
+/// TLC read (tR): time to sense a page inside a die.
+pub const READ_LATENCY: Ns = Ns(60_000);
+
+/// TLC program (tProg): time to program a page inside a die.
+pub const PROGRAM_LATENCY: Ns = Ns(600_000);
+
+/// Block erase time.
+pub const ERASE_LATENCY: Ns = Ns(3_000_000);
+
+/// Channel bus transfer rate (ONFI-class, ~1.2 GB/s).
+pub const CHANNEL_BPS: u64 = 9_600_000_000;
+
+/// Controller fixed overhead per command (firmware, FTL lookup, DMA setup).
+pub const CONTROLLER_OVERHEAD: Ns = Ns(2_500);
+
+/// Default submission/completion queue depth.
+pub const QUEUE_DEPTH: usize = 256;
+
+/// SSD idle power.
+pub const SSD_IDLE_POWER: MilliWatts = MilliWatts::from_watts(4);
+
+/// Energy per byte read from flash (pJ/B).
+pub const READ_PJ_PER_BYTE: u64 = 60;
+
+/// Energy per byte programmed to flash (pJ/B).
+pub const PROGRAM_PJ_PER_BYTE: u64 = 400;
+
+/// Default namespace capacity for one SSD in the prototype (1 TiB class;
+/// kept modest here since the store is sparse).
+pub const DEFAULT_CAPACITY_LBAS: u64 = (1 << 40) / LBA_SIZE;
+
+/// Zone size for ZNS namespaces (256 MiB), in LBAs.
+pub const ZONE_LBAS: u64 = (256 << 20) / LBA_SIZE;

@@ -1,0 +1,236 @@
+//! Timeline resources: the queueing primitive of the simulation kernel.
+//!
+//! Most Hyperion experiments are request/response flows whose latency is the
+//! composition of service times at a handful of contended stations (a flash
+//! channel, a network link, a PCIe root complex, a CPU core). Each station
+//! is modeled as a k-server FIFO *timeline*: a request arriving at `now`
+//! begins service at the earliest instant one of the `k` servers is free,
+//! occupies it for the service time, and completes. This produces exact
+//! FIFO queueing delays without a global event loop, and composes across
+//! crates by simply threading completion times forward.
+
+use crate::time::{serialization_delay, Ns};
+
+/// A k-server FIFO queueing station.
+///
+/// # Examples
+///
+/// ```
+/// use hyperion_sim::resource::Resource;
+/// use hyperion_sim::time::Ns;
+///
+/// let mut disk = Resource::new("disk", 1);
+/// // Two back-to-back requests at t=0, each taking 100ns: the second queues.
+/// assert_eq!(disk.access(Ns(0), Ns(100)), Ns(100));
+/// assert_eq!(disk.access(Ns(0), Ns(100)), Ns(200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    /// Completion times of the in-flight/last jobs on each server, kept as a
+    /// small unsorted vec (k is tiny in all our models).
+    servers: Vec<Ns>,
+    busy: Ns,
+    jobs: u64,
+}
+
+impl Resource {
+    /// Creates a station with `k` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(name: &'static str, k: usize) -> Resource {
+        assert!(k > 0, "a resource needs at least one server");
+        Resource {
+            name,
+            servers: vec![Ns::ZERO; k],
+            busy: Ns::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Returns the station's name (used in traces and reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Admits a request arriving at `now` with the given service time and
+    /// returns its completion instant.
+    ///
+    /// Service is FIFO: the request takes the earliest-free server, waiting
+    /// if all are busy.
+    pub fn access(&mut self, now: Ns, service: Ns) -> Ns {
+        let (idx, free_at) = self
+            .servers
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(_, t)| t)
+            .expect("resource has at least one server");
+        let start = now.max(free_at);
+        let done = start + service;
+        self.servers[idx] = done;
+        self.busy += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// Returns the earliest instant at which a new request arriving at `now`
+    /// would begin service, without admitting anything.
+    pub fn earliest_start(&self, now: Ns) -> Ns {
+        let free_at = self
+            .servers
+            .iter()
+            .copied()
+            .min()
+            .expect("resource has at least one server");
+        now.max(free_at)
+    }
+
+    /// Total service time accumulated so far (for utilization accounting).
+    pub fn busy_time(&self) -> Ns {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over the window `[0, horizon]`, per server, in `[0, 1]`.
+    pub fn utilization(&self, horizon: Ns) -> f64 {
+        if horizon == Ns::ZERO {
+            return 0.0;
+        }
+        self.busy.0 as f64 / (horizon.0 as f64 * self.servers.len() as f64)
+    }
+
+    /// Resets the timeline (used between experiment repetitions).
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            *s = Ns::ZERO;
+        }
+        self.busy = Ns::ZERO;
+        self.jobs = 0;
+    }
+}
+
+/// A point-to-point link with finite bandwidth and fixed propagation delay.
+///
+/// Serialization contends on the link (FIFO), propagation does not — so two
+/// frames sent back-to-back overlap their flight time but not their
+/// transmission time, as on a real wire.
+#[derive(Debug, Clone)]
+pub struct Link {
+    line: Resource,
+    bits_per_sec: u64,
+    propagation: Ns,
+}
+
+impl Link {
+    /// Creates a link with the given bandwidth (bits/s) and propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero.
+    pub fn new(name: &'static str, bits_per_sec: u64, propagation: Ns) -> Link {
+        assert!(bits_per_sec != 0, "link bandwidth must be non-zero");
+        Link {
+            line: Resource::new(name, 1),
+            bits_per_sec,
+            propagation,
+        }
+    }
+
+    /// Transmits `bytes` starting no earlier than `now`; returns the instant
+    /// the last bit arrives at the far end.
+    pub fn transmit(&mut self, now: Ns, bytes: u64) -> Ns {
+        let ser = serialization_delay(bytes, self.bits_per_sec);
+        self.line.access(now, ser) + self.propagation
+    }
+
+    /// The link's one-way propagation delay.
+    pub fn propagation(&self) -> Ns {
+        self.propagation
+    }
+
+    /// The link's bandwidth in bits per second.
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Serialization delay for a frame of `bytes` on an idle link.
+    pub fn serialization(&self, bytes: u64) -> Ns {
+        serialization_delay(bytes, self.bits_per_sec)
+    }
+
+    /// Bytes transferred so far (derived from accumulated busy time).
+    pub fn utilization(&self, horizon: Ns) -> f64 {
+        self.line.utilization(horizon)
+    }
+
+    /// Resets the link timeline.
+    pub fn reset(&mut self) {
+        self.line.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_fifo_queues() {
+        let mut r = Resource::new("r", 1);
+        assert_eq!(r.access(Ns(0), Ns(10)), Ns(10));
+        assert_eq!(r.access(Ns(0), Ns(10)), Ns(20));
+        assert_eq!(r.access(Ns(100), Ns(10)), Ns(110)); // idle gap
+        assert_eq!(r.jobs(), 3);
+        assert_eq!(r.busy_time(), Ns(30));
+    }
+
+    #[test]
+    fn multi_server_overlaps() {
+        let mut r = Resource::new("r", 2);
+        assert_eq!(r.access(Ns(0), Ns(10)), Ns(10));
+        assert_eq!(r.access(Ns(0), Ns(10)), Ns(10)); // second server
+        assert_eq!(r.access(Ns(0), Ns(10)), Ns(20)); // queues behind first
+    }
+
+    #[test]
+    fn earliest_start_does_not_admit() {
+        let mut r = Resource::new("r", 1);
+        r.access(Ns(0), Ns(50));
+        assert_eq!(r.earliest_start(Ns(0)), Ns(50));
+        assert_eq!(r.jobs(), 1);
+    }
+
+    #[test]
+    fn utilization_accounts_all_servers() {
+        let mut r = Resource::new("r", 2);
+        r.access(Ns(0), Ns(50));
+        r.access(Ns(0), Ns(50));
+        assert!((r.utilization(Ns(100)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_serializes_but_propagates_in_parallel() {
+        // 1 Gbps, 1000ns propagation. A 125-byte frame takes 1000ns to
+        // serialize.
+        let mut l = Link::new("l", 1_000_000_000, Ns(1000));
+        let a = l.transmit(Ns(0), 125);
+        let b = l.transmit(Ns(0), 125);
+        assert_eq!(a, Ns(2000)); // 1000 ser + 1000 prop
+        assert_eq!(b, Ns(3000)); // waits for the wire, then overlapping flight
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = Resource::new("r", 1);
+        r.access(Ns(0), Ns(10));
+        r.reset();
+        assert_eq!(r.jobs(), 0);
+        assert_eq!(r.access(Ns(0), Ns(10)), Ns(10));
+    }
+}

@@ -1,0 +1,360 @@
+//! Deterministic pseudo-random number generation for simulations.
+//!
+//! Simulation timelines must be bit-for-bit reproducible across runs and
+//! across dependency upgrades, so the kernel carries its own small,
+//! well-known generators instead of depending on an external RNG crate:
+//! SplitMix64 for seeding and Xoshiro256** for the stream (the reference
+//! constructions by Blackman and Vigna).
+
+/// Expands a single `u64` seed into a stream of well-mixed words.
+///
+/// SplitMix64 is the recommended seeder for the Xoshiro family because it
+/// guarantees that even adjacent integer seeds (0, 1, 2, ...) produce
+/// uncorrelated initial states.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a seeder from an arbitrary 64-bit seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next mixed 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256** — the simulation kernel's general-purpose generator.
+///
+/// Fast, small (32 bytes of state), passes BigCrush, and — critically for a
+/// simulator — fully deterministic for a given seed.
+///
+/// # Examples
+///
+/// ```
+/// use hyperion_sim::rng::Rng;
+///
+/// let mut a = Rng::seeded(42);
+/// let mut b = Rng::seeded(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seeded(seed: u64) -> Rng {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // An all-zero state is the one forbidden state of xoshiro; SplitMix64
+        // cannot emit four zero words in a row, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x1;
+        }
+        Rng { s }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)` using Lemire's
+    /// multiply-shift rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound != 0, "Rng::next_below bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * bound as u128;
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection threshold for the biased low range.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "Rng::range requires lo < hi");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Samples an exponentially distributed duration with the given mean.
+    ///
+    /// Used for Poisson arrival processes in open-loop workloads.
+    pub fn exp_ns(&mut self, mean: crate::time::Ns) -> crate::time::Ns {
+        // Avoid ln(0) by nudging u away from zero.
+        let u = self.next_f64().max(1e-12);
+        let d = -(u.ln()) * mean.0 as f64;
+        crate::time::Ns(d.min(u64::MAX as f64) as u64)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        if xs.len() < 2 {
+            return;
+        }
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Fills a byte buffer with pseudo-random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over `{0, 1, ..., n-1}` with skew `theta`.
+///
+/// Implements the standard inverse-CDF construction with the Zipfian
+/// normalization constant precomputed, matching the popularity skew used by
+/// YCSB-style key-value workloads (`theta = 0.99` by default there).
+///
+/// # Examples
+///
+/// ```
+/// use hyperion_sim::rng::{Rng, Zipf};
+///
+/// let mut rng = Rng::seeded(7);
+/// let zipf = Zipf::new(1_000, 0.99);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew parameter `theta`.
+    ///
+    /// `theta = 0` degenerates to the uniform distribution; values close to
+    /// 1 are heavily skewed toward low indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf requires at least one item");
+        assert!((0.0..1.0).contains(&theta), "Zipf skew must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is fine for the item counts used in experiments
+        // (up to ~10^7); the constant is computed once per sampler.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Returns the number of items.
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples an index in `[0, n)`; index 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let x = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        x.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Ns;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference output for seed 0 from the SplitMix64 reference code.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::seeded(123);
+        let mut b = Rng::seeded(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seeded(1);
+        let mut b = Rng::seeded(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should differ");
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut rng = Rng::seeded(9);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::seeded(4);
+        for _ in 0..500 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seeded(5);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_ns_has_roughly_correct_mean() {
+        let mut rng = Rng::seeded(6);
+        let mean = Ns::from_micros(10);
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| rng.exp_ns(mean).0).sum();
+        let avg = total / n;
+        // Within 5% of the requested mean.
+        assert!((9_500..10_500).contains(&avg), "mean was {avg}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seeded(8);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = Rng::seeded(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_indices() {
+        let mut rng = Rng::seeded(10);
+        let z = Zipf::new(10_000, 0.99);
+        let mut low = 0u32;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // With theta=0.99 the hottest 1% of keys should absorb well over
+        // a third of accesses; uniform would give ~1%.
+        assert!(low > trials / 3, "hot-key hits: {low}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let mut rng = Rng::seeded(12);
+        let z = Zipf::new(1000, 0.0);
+        let mut low = 0u32;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // Expect ~10%; accept a generous band.
+        assert!((500..2000).contains(&low), "low-index hits: {low}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Columnar compute kernels over [`ColumnBatch`].
+//!
+//! Paper §2.3: "Hyperion can access and *process* data that is stored in
+//! Arrow/Parquet format" — access lives in [`crate::columnar`]; this is
+//! the processing half: vectorized aggregations and filters of the kind
+//! an in-fabric pipeline (or Weld-style end-to-end optimizer, ref 129)
+//! executes over decoded column batches.
+
+use std::collections::BTreeMap;
+
+use crate::columnar::{ColumnBatch, ColumnarError};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum of values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Row count.
+    Count,
+}
+
+/// Result of one aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggResult {
+    /// The function computed.
+    pub agg: Agg,
+    /// The value (0 for empty inputs except Count, which is 0 anyway).
+    pub value: u64,
+}
+
+/// Computes `agg` over `column` of `batch`.
+pub fn aggregate(batch: &ColumnBatch, column: &str, agg: Agg) -> Result<AggResult, ColumnarError> {
+    let col = batch
+        .column(column)
+        .ok_or_else(|| ColumnarError::NoSuchColumn(column.to_string()))?;
+    let value = match agg {
+        Agg::Sum => col.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+        Agg::Min => col.iter().copied().min().unwrap_or(0),
+        Agg::Max => col.iter().copied().max().unwrap_or(0),
+        Agg::Count => col.len() as u64,
+    };
+    Ok(AggResult { agg, value })
+}
+
+/// Filters `batch` to the rows where `column` is in `[lo, hi]`,
+/// preserving all columns (the post-scan residual filter).
+pub fn filter_between(
+    batch: &ColumnBatch,
+    column: &str,
+    lo: u64,
+    hi: u64,
+) -> Result<ColumnBatch, ColumnarError> {
+    let idx = batch
+        .names
+        .iter()
+        .position(|n| n == column)
+        .ok_or_else(|| ColumnarError::NoSuchColumn(column.to_string()))?;
+    let mask: Vec<bool> = batch.columns[idx]
+        .iter()
+        .map(|&v| v >= lo && v <= hi)
+        .collect();
+    let columns = batch
+        .columns
+        .iter()
+        .map(|col| {
+            col.iter()
+                .zip(&mask)
+                .filter(|(_, &keep)| keep)
+                .map(|(&v, _)| v)
+                .collect()
+        })
+        .collect();
+    ColumnBatch::new(batch.names.clone(), columns)
+}
+
+/// Group-by aggregation: `agg` of `value_column` per distinct key in
+/// `key_column`, returned as a two-column batch sorted by key.
+pub fn group_by(
+    batch: &ColumnBatch,
+    key_column: &str,
+    value_column: &str,
+    agg: Agg,
+) -> Result<ColumnBatch, ColumnarError> {
+    let keys = batch
+        .column(key_column)
+        .ok_or_else(|| ColumnarError::NoSuchColumn(key_column.to_string()))?;
+    let values = batch
+        .column(value_column)
+        .ok_or_else(|| ColumnarError::NoSuchColumn(value_column.to_string()))?;
+    let mut groups: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new(); // sum,min,max,count
+    for (&k, &v) in keys.iter().zip(values.iter()) {
+        let e = groups.entry(k).or_insert((0, u64::MAX, 0, 0));
+        e.0 = e.0.wrapping_add(v);
+        e.1 = e.1.min(v);
+        e.2 = e.2.max(v);
+        e.3 += 1;
+    }
+    let out_keys: Vec<u64> = groups.keys().copied().collect();
+    let out_values: Vec<u64> = groups
+        .values()
+        .map(|&(sum, min, max, count)| match agg {
+            Agg::Sum => sum,
+            Agg::Min => min,
+            Agg::Max => max,
+            Agg::Count => count,
+        })
+        .collect();
+    ColumnBatch::new(
+        vec![key_column.to_string(), format!("{agg:?}({value_column})").to_lowercase()],
+        vec![out_keys, out_values],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> ColumnBatch {
+        ColumnBatch::new(
+            vec!["region".into(), "price".into()],
+            vec![
+                vec![1, 2, 1, 2, 3, 1],
+                vec![10, 20, 30, 40, 50, 60],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates() {
+        let b = batch();
+        assert_eq!(aggregate(&b, "price", Agg::Sum).unwrap().value, 210);
+        assert_eq!(aggregate(&b, "price", Agg::Min).unwrap().value, 10);
+        assert_eq!(aggregate(&b, "price", Agg::Max).unwrap().value, 60);
+        assert_eq!(aggregate(&b, "price", Agg::Count).unwrap().value, 6);
+    }
+
+    #[test]
+    fn aggregate_of_empty_column() {
+        let b = ColumnBatch::new(vec!["x".into()], vec![vec![]]).unwrap();
+        assert_eq!(aggregate(&b, "x", Agg::Sum).unwrap().value, 0);
+        assert_eq!(aggregate(&b, "x", Agg::Min).unwrap().value, 0);
+        assert_eq!(aggregate(&b, "x", Agg::Count).unwrap().value, 0);
+    }
+
+    #[test]
+    fn filter_preserves_all_columns() {
+        let b = batch();
+        let f = filter_between(&b, "price", 20, 45).unwrap();
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.column("price").unwrap(), &[20, 30, 40]);
+        assert_eq!(f.column("region").unwrap(), &[2, 1, 2]);
+    }
+
+    #[test]
+    fn group_by_sums_per_key() {
+        let b = batch();
+        let g = group_by(&b, "region", "price", Agg::Sum).unwrap();
+        assert_eq!(g.column("region").unwrap(), &[1, 2, 3]);
+        assert_eq!(g.column("sum(price)").unwrap(), &[100, 60, 50]);
+    }
+
+    #[test]
+    fn group_by_min_max_count() {
+        let b = batch();
+        let g = group_by(&b, "region", "price", Agg::Count).unwrap();
+        assert_eq!(g.column("count(price)").unwrap(), &[3, 2, 1]);
+        let g = group_by(&b, "region", "price", Agg::Max).unwrap();
+        assert_eq!(g.column("max(price)").unwrap(), &[60, 40, 50]);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let b = batch();
+        assert!(matches!(
+            aggregate(&b, "bogus", Agg::Sum),
+            Err(ColumnarError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            group_by(&b, "region", "bogus", Agg::Sum),
+            Err(ColumnarError::NoSuchColumn(_))
+        ));
+    }
+}

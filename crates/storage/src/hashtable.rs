@@ -1,0 +1,337 @@
+//! An on-device hash table: the "lookup-tables" export of §2.4.
+//!
+//! The paper cites KV-SSD-style lookup tables (ref 28) alongside trees as
+//! the core abstractions a network-attached SSD should export. This is a
+//! bucketed hash table with overflow chaining over the block store: a
+//! point lookup costs one block read per chain hop (typically exactly
+//! one), which is the structural contrast with the B+ tree's
+//! height-many reads.
+//!
+//! Keys are `u64` (with `u64::MAX` reserved as the empty slot marker),
+//! values are `u64`.
+
+use hyperion_sim::time::Ns;
+
+use crate::blockstore::{BlockError, BlockStore, BLOCK};
+
+/// Slots per bucket block: header (16 B) + slots x 16 B.
+pub const SLOTS_PER_BUCKET: usize = (BLOCK as usize - 16) / 16;
+
+const EMPTY: u64 = u64::MAX;
+
+/// Errors from the hash table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashError {
+    /// Block layer failure.
+    Block(BlockError),
+    /// `u64::MAX` is reserved as the empty marker.
+    ReservedKey,
+}
+
+impl std::fmt::Display for HashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HashError::Block(e) => write!(f, "block layer: {e}"),
+            HashError::ReservedKey => write!(f, "u64::MAX is reserved"),
+        }
+    }
+}
+
+impl std::error::Error for HashError {}
+
+impl From<BlockError> for HashError {
+    fn from(e: BlockError) -> HashError {
+        HashError::Block(e)
+    }
+}
+
+/// The on-device hash table handle.
+#[derive(Debug)]
+pub struct HashTable {
+    first_bucket: u64,
+    buckets: u64,
+    len: u64,
+    overflow_blocks: u64,
+}
+
+struct Bucket {
+    next: u64, // overflow block LBA, 0 = none
+    pairs: Vec<(u64, u64)>,
+}
+
+impl Bucket {
+    fn decode(raw: &[u8]) -> Bucket {
+        let next = u64::from_le_bytes(raw[0..8].try_into().expect("8 bytes"));
+        let mut pairs = Vec::with_capacity(SLOTS_PER_BUCKET);
+        for s in 0..SLOTS_PER_BUCKET {
+            let o = 16 + s * 16;
+            let k = u64::from_le_bytes(raw[o..o + 8].try_into().expect("8 bytes"));
+            let v = u64::from_le_bytes(raw[o + 8..o + 16].try_into().expect("8 bytes"));
+            pairs.push((k, v));
+        }
+        Bucket { next, pairs }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; BLOCK as usize];
+        out[0..8].copy_from_slice(&self.next.to_le_bytes());
+        for (s, (k, v)) in self.pairs.iter().enumerate() {
+            let o = 16 + s * 16;
+            out[o..o + 8].copy_from_slice(&k.to_le_bytes());
+            out[o + 8..o + 16].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn empty() -> Bucket {
+        Bucket {
+            next: 0,
+            pairs: vec![(EMPTY, 0); SLOTS_PER_BUCKET],
+        }
+    }
+}
+
+fn bucket_of(key: u64, buckets: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) % buckets
+}
+
+impl HashTable {
+    /// Creates a table with `buckets` primary buckets (all zero-filled
+    /// with the empty marker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn create(
+        store: &mut BlockStore,
+        buckets: u64,
+        now: Ns,
+    ) -> Result<(HashTable, Ns), HashError> {
+        assert!(buckets > 0, "need at least one bucket");
+        let first_bucket = store.alloc(buckets)?;
+        let empty = Bucket::empty().encode();
+        let mut image = Vec::with_capacity((buckets * BLOCK) as usize);
+        for _ in 0..buckets {
+            image.extend_from_slice(&empty);
+        }
+        let done = store.write(first_bucket, image, now)?;
+        Ok((
+            HashTable {
+                first_bucket,
+                buckets,
+                len: 0,
+                overflow_blocks: 0,
+            },
+            done,
+        ))
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Overflow blocks allocated (chain growth indicator).
+    pub fn overflow_blocks(&self) -> u64 {
+        self.overflow_blocks
+    }
+
+    /// Point lookup: walks the bucket chain; typically one block read.
+    pub fn get(
+        &self,
+        store: &mut BlockStore,
+        key: u64,
+        now: Ns,
+    ) -> Result<(Option<u64>, Ns), HashError> {
+        if key == EMPTY {
+            return Err(HashError::ReservedKey);
+        }
+        let mut lba = self.first_bucket + bucket_of(key, self.buckets);
+        let mut t = now;
+        loop {
+            let (raw, done) = store.read(lba, 1, t)?;
+            t = done;
+            let b = Bucket::decode(&raw);
+            for &(k, v) in &b.pairs {
+                if k == key {
+                    return Ok((Some(v), t));
+                }
+            }
+            if b.next == 0 {
+                return Ok((None, t));
+            }
+            lba = b.next;
+        }
+    }
+
+    /// Inserts or overwrites `key -> value`, growing an overflow chain if
+    /// the bucket is full.
+    pub fn put(
+        &mut self,
+        store: &mut BlockStore,
+        key: u64,
+        value: u64,
+        now: Ns,
+    ) -> Result<Ns, HashError> {
+        if key == EMPTY {
+            return Err(HashError::ReservedKey);
+        }
+        let mut lba = self.first_bucket + bucket_of(key, self.buckets);
+        let mut t = now;
+        loop {
+            let (raw, done) = store.read(lba, 1, t)?;
+            t = done;
+            let mut b = Bucket::decode(&raw);
+            // Overwrite in place?
+            if let Some(slot) = b.pairs.iter().position(|&(k, _)| k == key) {
+                b.pairs[slot] = (key, value);
+                return Ok(store.write(lba, b.encode(), t)?);
+            }
+            // Free slot?
+            if let Some(slot) = b.pairs.iter().position(|&(k, _)| k == EMPTY) {
+                b.pairs[slot] = (key, value);
+                self.len += 1;
+                return Ok(store.write(lba, b.encode(), t)?);
+            }
+            // Full: follow or grow the chain.
+            if b.next == 0 {
+                let overflow = store.alloc(1)?;
+                self.overflow_blocks += 1;
+                let mut ob = Bucket::empty();
+                ob.pairs[0] = (key, value);
+                self.len += 1;
+                let t2 = store.write(overflow, ob.encode(), t)?;
+                b.next = overflow;
+                return Ok(store.write(lba, b.encode(), t2)?);
+            }
+            lba = b.next;
+        }
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn delete(
+        &mut self,
+        store: &mut BlockStore,
+        key: u64,
+        now: Ns,
+    ) -> Result<(bool, Ns), HashError> {
+        if key == EMPTY {
+            return Err(HashError::ReservedKey);
+        }
+        let mut lba = self.first_bucket + bucket_of(key, self.buckets);
+        let mut t = now;
+        loop {
+            let (raw, done) = store.read(lba, 1, t)?;
+            t = done;
+            let mut b = Bucket::decode(&raw);
+            if let Some(slot) = b.pairs.iter().position(|&(k, _)| k == key) {
+                b.pairs[slot] = (EMPTY, 0);
+                self.len -= 1;
+                let t2 = store.write(lba, b.encode(), t)?;
+                return Ok((true, t2));
+            }
+            if b.next == 0 {
+                return Ok((false, t));
+            }
+            lba = b.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(buckets: u64) -> (BlockStore, HashTable) {
+        let mut store = BlockStore::with_capacity(1 << 20);
+        let (t, _) = HashTable::create(&mut store, buckets, Ns::ZERO).unwrap();
+        (store, t)
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let (mut store, mut ht) = setup(16);
+        let t = ht.put(&mut store, 42, 4200, Ns::ZERO).unwrap();
+        let (v, t) = ht.get(&mut store, 42, t).unwrap();
+        assert_eq!(v, Some(4200));
+        let (removed, t) = ht.delete(&mut store, 42, t).unwrap();
+        assert!(removed);
+        let (v, _) = ht.get(&mut store, 42, t).unwrap();
+        assert_eq!(v, None);
+        assert_eq!(ht.len(), 0);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let (mut store, mut ht) = setup(4);
+        ht.put(&mut store, 1, 10, Ns::ZERO).unwrap();
+        ht.put(&mut store, 1, 20, Ns::ZERO).unwrap();
+        assert_eq!(ht.len(), 1);
+        let (v, _) = ht.get(&mut store, 1, Ns::ZERO).unwrap();
+        assert_eq!(v, Some(20));
+    }
+
+    #[test]
+    fn many_keys_and_overflow_chains() {
+        // 4 buckets x 255 slots = 1020 direct slots; 3000 keys must chain.
+        let (mut store, mut ht) = setup(4);
+        let mut t = Ns::ZERO;
+        for k in 0..3_000u64 {
+            t = ht.put(&mut store, k, k * 2, t).unwrap();
+        }
+        assert_eq!(ht.len(), 3_000);
+        assert!(ht.overflow_blocks() > 0);
+        for k in (0..3_000u64).step_by(97) {
+            let (v, done) = ht.get(&mut store, k, t).unwrap();
+            t = done;
+            assert_eq!(v, Some(k * 2));
+        }
+        let (miss, _) = ht.get(&mut store, 999_999, t).unwrap();
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn typical_lookup_is_one_block_read() {
+        let (mut store, mut ht) = setup(64);
+        let mut t = Ns::ZERO;
+        for k in 0..500u64 {
+            t = ht.put(&mut store, k, k, t).unwrap();
+        }
+        let before = store.reads();
+        ht.get(&mut store, 250, t).unwrap();
+        assert_eq!(store.reads() - before, 1, "uncontended lookup = 1 read");
+    }
+
+    #[test]
+    fn reserved_key_rejected() {
+        let (mut store, mut ht) = setup(4);
+        assert!(matches!(
+            ht.put(&mut store, u64::MAX, 1, Ns::ZERO),
+            Err(HashError::ReservedKey)
+        ));
+        assert!(matches!(
+            ht.get(&mut store, u64::MAX, Ns::ZERO),
+            Err(HashError::ReservedKey)
+        ));
+    }
+
+    #[test]
+    fn deletion_frees_slots_for_reuse() {
+        let (mut store, mut ht) = setup(1);
+        let mut t = Ns::ZERO;
+        // Fill one bucket exactly.
+        for k in 0..SLOTS_PER_BUCKET as u64 {
+            t = ht.put(&mut store, k, k, t).unwrap();
+        }
+        assert_eq!(ht.overflow_blocks(), 0);
+        let (_, t2) = ht.delete(&mut store, 0, t).unwrap();
+        // Reuse the freed slot: still no overflow.
+        ht.put(&mut store, 10_000, 1, t2).unwrap();
+        assert_eq!(ht.overflow_blocks(), 0);
+    }
+}

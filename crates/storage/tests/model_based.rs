@@ -1,0 +1,203 @@
+//! Model-based property tests: each on-device structure is driven with a
+//! random operation sequence and checked against an in-memory reference
+//! model after every step.
+
+use std::collections::BTreeMap;
+
+use hyperion_sim::time::Ns;
+use hyperion_storage::blockstore::BlockStore;
+use hyperion_storage::btree::BTree;
+use hyperion_storage::columnar::{scan, write_file, ColumnBatch, Predicate};
+use hyperion_storage::corfu::{CorfuLog, LogEntry};
+use hyperion_storage::hashtable::HashTable;
+use hyperion_storage::lsm::LsmTree;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u64, u64),
+    Get(u64),
+    Delete(u64),
+    Flush,
+}
+
+fn kv_ops() -> impl Strategy<Value = Vec<KvOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..500, 0u64..1_000_000).prop_map(|(k, v)| KvOp::Put(k, v)),
+            (0u64..500).prop_map(KvOp::Get),
+            (0u64..500).prop_map(KvOp::Delete),
+            Just(KvOp::Flush),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The B+ tree agrees with a BTreeMap for any insert/get sequence.
+    #[test]
+    fn btree_matches_model(ops in kv_ops()) {
+        let mut store = BlockStore::with_capacity(1 << 20);
+        let (mut tree, mut t) = BTree::create(&mut store, Ns::ZERO).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    t = tree.insert(&mut store, k, v, t).unwrap();
+                    model.insert(k, v);
+                }
+                KvOp::Get(k) => {
+                    let (got, done) = tree.get(&mut store, k, t).unwrap();
+                    t = done;
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                // The B+ tree has no delete; these are no-ops here.
+                KvOp::Delete(_) | KvOp::Flush => {}
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+        // Full sweep at the end.
+        for (&k, &v) in &model {
+            let (got, done) = tree.get(&mut store, k, t).unwrap();
+            t = done;
+            prop_assert_eq!(got, Some(v));
+        }
+        // Range agrees with the model.
+        let (range, _) = tree.range(&mut store, 100, 300, t).unwrap();
+        let expect: Vec<(u64, u64)> = model.range(100..300).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(range, expect);
+    }
+
+    /// The LSM tree agrees with a BTreeMap across puts, deletes, flushes,
+    /// and a final compaction.
+    #[test]
+    fn lsm_matches_model(ops in kv_ops()) {
+        let mut store = BlockStore::with_capacity(1 << 20);
+        let mut lsm = LsmTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut t = Ns::ZERO;
+        for op in ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    let v = v % (u64::MAX - 1); // avoid the tombstone value
+                    t = lsm.put(&mut store, k, v, t).unwrap();
+                    model.insert(k, v);
+                }
+                KvOp::Get(k) => {
+                    let (got, done) = lsm.get(&mut store, k, t).unwrap();
+                    t = done;
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                KvOp::Delete(k) => {
+                    t = lsm.delete(&mut store, k, t).unwrap();
+                    model.remove(&k);
+                }
+                KvOp::Flush => {
+                    t = lsm.flush(&mut store, t).unwrap();
+                }
+            }
+        }
+        t = lsm.compact(&mut store, t).unwrap();
+        for k in 0..500u64 {
+            let (got, done) = lsm.get(&mut store, k, t).unwrap();
+            t = done;
+            prop_assert_eq!(got, model.get(&k).copied(), "key {}", k);
+        }
+    }
+
+    /// The on-device hash table agrees with a BTreeMap across puts,
+    /// gets, and deletes, at any bucket count (forcing overflow chains).
+    #[test]
+    fn hashtable_matches_model(ops in kv_ops(), buckets in 1u64..8) {
+        let mut store = BlockStore::with_capacity(1 << 20);
+        let (mut ht, mut t) = HashTable::create(&mut store, buckets, Ns::ZERO).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    t = ht.put(&mut store, k, v, t).unwrap();
+                    model.insert(k, v);
+                }
+                KvOp::Get(k) => {
+                    let (got, done) = ht.get(&mut store, k, t).unwrap();
+                    t = done;
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                KvOp::Delete(k) => {
+                    let (removed, done) = ht.delete(&mut store, k, t).unwrap();
+                    t = done;
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                KvOp::Flush => {}
+            }
+            prop_assert_eq!(ht.len(), model.len() as u64);
+        }
+        for (&k, &v) in &model {
+            let (got, done) = ht.get(&mut store, k, t).unwrap();
+            t = done;
+            prop_assert_eq!(got, Some(v));
+        }
+    }
+
+    /// Corfu: appended data reads back identically at the assigned
+    /// positions; positions are dense and ordered.
+    #[test]
+    fn corfu_append_read_consistency(
+        entries in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..60),
+        units in 1usize..6,
+    ) {
+        let mut log = CorfuLog::new(units, 1 << 14);
+        let mut t = Ns::ZERO;
+        let mut positions = Vec::new();
+        for e in &entries {
+            let (pos, done) = log.append(e, t).unwrap();
+            t = done;
+            positions.push(pos);
+        }
+        // Dense, in order.
+        prop_assert_eq!(&positions, &(0..entries.len() as u64).collect::<Vec<_>>());
+        for (e, pos) in entries.iter().zip(&positions) {
+            let (entry, done) = log.read(*pos, t).unwrap();
+            t = done;
+            prop_assert_eq!(entry, LogEntry::Data(bytes::Bytes::copy_from_slice(e)));
+        }
+        // Reconfiguration preserves the tail.
+        log.reconfigure();
+        prop_assert_eq!(log.tail(), entries.len() as u64);
+    }
+
+    /// Columnar round trip: scan with projection returns exactly the
+    /// source columns; predicate scans match a filtered model.
+    #[test]
+    fn columnar_scan_matches_model(
+        rows in proptest::collection::vec((0u64..10_000, 0u64..100), 1..500),
+        per_group in 1usize..128,
+        lo in 0u64..10_000,
+        width in 0u64..5_000,
+    ) {
+        let ids: Vec<u64> = rows.iter().map(|r| r.0).collect();
+        let tags: Vec<u64> = rows.iter().map(|r| r.1).collect();
+        let batch = ColumnBatch::new(
+            vec!["id".into(), "tag".into()],
+            vec![ids.clone(), tags.clone()],
+        ).unwrap();
+        let mut store = BlockStore::with_capacity(1 << 18);
+        let (meta, t) = write_file(&mut store, &batch, per_group, Ns::ZERO).unwrap();
+        // Projection round trip.
+        let (full, _, t) = scan(&mut store, &meta, &["tag", "id"], None, t).unwrap();
+        prop_assert_eq!(full.column("id").unwrap(), ids.as_slice());
+        prop_assert_eq!(full.column("tag").unwrap(), tags.as_slice());
+        // Predicate scan vs model.
+        let hi = lo.saturating_add(width);
+        let pred = Predicate::between("id", lo, hi);
+        let (selected, _, _) = scan(&mut store, &meta, &["tag"], Some(&pred), t).unwrap();
+        let expect: Vec<u64> = rows
+            .iter()
+            .filter(|(id, _)| *id >= lo && *id <= hi)
+            .map(|(_, tag)| *tag)
+            .collect();
+        prop_assert_eq!(selected.column("tag").unwrap(), expect.as_slice());
+    }
+}

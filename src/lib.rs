@@ -1,0 +1,21 @@
+//! Umbrella crate for the Hyperion reproduction workspace.
+//!
+//! This crate re-exports every workspace member so that the examples and
+//! integration tests in the repository root can exercise the full public
+//! API surface through a single dependency.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! experiment index mapping paper claims to bench targets.
+
+pub use hyperion as core;
+pub use hyperion_apps as apps;
+pub use hyperion_baseline as baseline;
+pub use hyperion_ebpf as ebpf;
+pub use hyperion_fabric as fabric;
+pub use hyperion_hdl as hdl;
+pub use hyperion_mem as mem;
+pub use hyperion_net as net;
+pub use hyperion_nvme as nvme;
+pub use hyperion_pcie as pcie;
+pub use hyperion_sim as sim;
+pub use hyperion_storage as storage;
