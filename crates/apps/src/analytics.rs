@@ -17,9 +17,7 @@
 use hyperion_baseline::host::{HostServer, BLOCK_STACK, SYSCALL, VFS_LAYER};
 use hyperion_sim::time::Ns;
 use hyperion_storage::blockstore::{BlockStore, BLOCK};
-use hyperion_storage::columnar::{
-    read_footer, scan, ColumnBatch, Predicate, ScanStats,
-};
+use hyperion_storage::columnar::{read_footer, scan, ColumnBatch, Predicate, ScanStats};
 use hyperion_storage::fs::{annotated_resolve, FileSystem, FsAnnotation};
 
 /// A dataset laid out as a columnar file inside the DPU file system.
@@ -57,13 +55,9 @@ pub fn build_dataset(
     // Serialize the columnar file into a scratch store first to obtain the
     // exact image, then place it in the FS.
     let mut scratch = BlockStore::with_capacity(1 << 22);
-    let (meta, _) = hyperion_storage::columnar::write_file(
-        &mut scratch,
-        batch,
-        rows_per_group,
-        Ns::ZERO,
-    )
-    .expect("encode");
+    let (meta, _) =
+        hyperion_storage::columnar::write_file(&mut scratch, batch, rows_per_group, Ns::ZERO)
+            .expect("encode");
     let total_blocks = scratch.cursor() as u32;
     let (image, _) = scratch
         .read(0, total_blocks, Ns::ZERO)
@@ -145,7 +139,9 @@ pub fn host_scan(
     let mut t = host.cpu(now, SYSCALL);
     for _ in 0..fs_meta_reads {
         t = host.cpu(t, VFS_LAYER);
-        let (_, done) = store.read(dataset.annotation.inode_table_lba, 1, t).expect("meta read");
+        let (_, done) = store
+            .read(dataset.annotation.inode_table_lba, 1, t)
+            .expect("meta read");
         t = done;
     }
     // Full-file read through the kernel: block stack + copy per extent.
@@ -161,8 +157,8 @@ pub fn host_scan(
     scratch.alloc(dataset.blocks as u64).expect("scratch");
     scratch.write(0, image, Ns::ZERO).expect("stage");
     let (meta, _) = read_footer(&mut scratch, 0, dataset.blocks, Ns::ZERO).expect("footer");
-    let (batch, stats, _) = scan(&mut scratch, &meta, projection, predicate, Ns::ZERO)
-        .expect("scan");
+    let (batch, stats, _) =
+        scan(&mut scratch, &meta, projection, predicate, Ns::ZERO).expect("scan");
     t = host.cpu(t, Ns(2_000)); // library dispatch overhead
     ScanRun {
         batch,

@@ -18,6 +18,7 @@ use hyperion_ebpf::MapId;
 use hyperion_fabric::slots::SlotId;
 use hyperion_sim::stats::Counters;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::trafficgen::TrafficGen;
 
@@ -124,6 +125,35 @@ pub fn run_on_dpu(
     packets: u64,
     start: Ns,
 ) -> Fail2BanReport {
+    run_inner(dpu, cp, slot, gen, packets, start, None)
+}
+
+/// [`run_on_dpu`] with telemetry: every packet records its pipeline hop
+/// (`f2b:pipeline`, fabric), every ban records the fire-and-forget flash
+/// durability window (`log:append`, nvme) plus an `e7.ban_durable` op
+/// sample.
+#[allow(clippy::too_many_arguments)]
+pub fn run_on_dpu_traced(
+    dpu: &mut HyperionDpu,
+    cp: &mut ControlPlane,
+    slot: SlotId,
+    gen: &mut TrafficGen,
+    packets: u64,
+    start: Ns,
+    rec: &mut Recorder,
+) -> Fail2BanReport {
+    run_inner(dpu, cp, slot, gen, packets, start, Some(rec))
+}
+
+fn run_inner(
+    dpu: &mut HyperionDpu,
+    cp: &mut ControlPlane,
+    slot: SlotId,
+    gen: &mut TrafficGen,
+    packets: u64,
+    start: Ns,
+    mut rec: Option<&mut Recorder>,
+) -> Fail2BanReport {
     let mut report = Fail2BanReport {
         packets,
         bans: 0,
@@ -144,6 +174,9 @@ pub fn run_on_dpu(
             .pipeline
             .process(&mut kernel.vm, &mut ctx, now)
             .expect("verified kernel cannot fault");
+        if let Some(r) = rec.as_deref_mut() {
+            r.record_hop(Component::Fabric, "f2b:pipeline", now, done);
+        }
         now = done;
         match result.ret {
             1 => {
@@ -155,7 +188,11 @@ pub fn run_on_dpu(
                 let mut entry = Vec::with_capacity(16);
                 entry.extend_from_slice(&flow.to_le_bytes());
                 entry.extend_from_slice(&now.0.to_le_bytes());
-                let (_, _durable_at) = dpu.log.append(&entry, now).expect("log append");
+                let (_, durable_at) = dpu.log.append(&entry, now).expect("log append");
+                if let Some(r) = rec.as_deref_mut() {
+                    r.record_hop(Component::Nvme, "log:append", now, durable_at);
+                    r.record_op("e7.ban_durable", durable_at.saturating_sub(now));
+                }
                 report.logged += 1;
             }
             2 => report.dropped += 1,
@@ -173,7 +210,7 @@ mod tests {
     const KEY: u64 = 0xC0FFEE;
 
     fn setup() -> (HyperionDpu, ControlPlane, SlotId, Ns) {
-        let mut dpu = HyperionDpu::assemble(KEY);
+        let mut dpu = hyperion::dpu::DpuBuilder::new().auth_key(KEY).build();
         let t = dpu.boot(Ns::ZERO).unwrap();
         let mut cp = ControlPlane::new(KEY);
         let (slot, live) = deploy(&mut dpu, &mut cp, t).unwrap();
@@ -192,6 +229,25 @@ mod tests {
         // Ban events are durable on the log.
         let (entry, _) = dpu.log.read(0, report.end).unwrap();
         assert!(matches!(entry, hyperion_storage::corfu::LogEntry::Data(_)));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_hops() {
+        let (mut dpu1, mut cp1, slot1, t1) = setup();
+        let (mut dpu2, mut cp2, slot2, t2) = setup();
+        let mut gen1 = TrafficGen::new(11, 50, 1.0, 32);
+        let mut gen2 = TrafficGen::new(11, 50, 1.0, 32);
+        let plain = run_on_dpu(&mut dpu1, &mut cp1, slot1, &mut gen1, 1_000, t1);
+        let mut rec = Recorder::new("t");
+        let traced = run_on_dpu_traced(&mut dpu2, &mut cp2, slot2, &mut gen2, 1_000, t2, &mut rec);
+        assert_eq!(plain.end, traced.end);
+        assert_eq!(plain.bans, traced.bans);
+        assert_eq!(plain.logged, traced.logged);
+        let rows = rec.hop_rows();
+        let pipeline = rows.iter().find(|r| r.name == "f2b:pipeline").unwrap();
+        assert_eq!(pipeline.count, 1_000);
+        let append = rows.iter().find(|r| r.name == "log:append").unwrap();
+        assert_eq!(append.count, traced.logged);
     }
 
     #[test]
@@ -218,7 +274,10 @@ mod tests {
             let mut ctx = vec![0u8; CTX_LEN as usize];
             ctx[0..8].copy_from_slice(&key.to_le_bytes());
             ctx[8] = 0xFA;
-            let (r, done) = kernel.pipeline.process(&mut kernel.vm, &mut ctx, now).unwrap();
+            let (r, done) = kernel
+                .pipeline
+                .process(&mut kernel.vm, &mut ctx, now)
+                .unwrap();
             now = done;
             if r.ret == 1 {
                 ban_at = Some(i);

@@ -37,7 +37,9 @@ enum Residence {
     Dram,
     /// Evicted but still in the spill write buffer (not yet on flash).
     Staged,
-    Flash { lba: u64 },
+    Flash {
+        lba: u64,
+    },
 }
 
 /// The load balancer.
@@ -264,10 +266,7 @@ mod tests {
             counts[lb.choose_backend(f).0 as usize] += 1;
         }
         for c in counts {
-            assert!(
-                (1_000..3_500).contains(&c),
-                "backend imbalance: {counts:?}"
-            );
+            assert!((1_000..3_500).contains(&c), "backend imbalance: {counts:?}");
         }
     }
 

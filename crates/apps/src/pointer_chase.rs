@@ -13,11 +13,12 @@
 //!   next to the flash.
 
 use hyperion::dpu::HyperionDpu;
-use hyperion::services::{ServiceRequest, ServiceResponse, TableRegistry};
+use hyperion::services::{ServiceRequest, ServiceResponse, TableRegistry, TreeOp};
 use hyperion_net::rpc::{MethodId, RpcChannel};
 use hyperion_net::Network;
 use hyperion_sim::time::Ns;
 use hyperion_storage::blockstore::BLOCK;
+use hyperion_telemetry::Recorder;
 
 /// Result of one remote lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +139,94 @@ pub fn client_driven_lookup(
     }
 }
 
+/// [`offloaded_lookup`] with telemetry: the on-DPU traversal runs through
+/// the traced dispatch path (service span + `tree.lookup` op sample), the
+/// single RPC records its per-leg wire spans, and the whole lookup lands
+/// as an `e6.offloaded` op sample.
+pub fn offloaded_lookup_traced(
+    dpu: &mut HyperionDpu,
+    channel: &mut RpcChannel,
+    net: &mut Network,
+    key: u64,
+    now: Ns,
+    rec: &mut Recorder,
+) -> ChaseResult {
+    let (resp, served) = dpu
+        .dispatch_traced(now, TreeOp::Lookup { key }, rec)
+        .expect("lookup");
+    let ServiceResponse::Value(value) = resp else {
+        unreachable!("lookup returns a value");
+    };
+    let work = served - now;
+    let d = channel
+        .call_traced(net, MethodId(1), now, 16, 16, work, rec)
+        .expect("rpc");
+    rec.record_op("e6.offloaded", d.done.saturating_sub(now));
+    ChaseResult {
+        value,
+        done: d.done,
+        rtts: d.wire_rounds,
+    }
+}
+
+/// [`client_driven_lookup`] with telemetry: every per-level node fetch
+/// records its service span (`tree.node_read`) and wire spans, and the
+/// whole walk lands as an `e6.client_driven` op sample.
+pub fn client_driven_lookup_traced(
+    dpu: &mut HyperionDpu,
+    channel: &mut RpcChannel,
+    net: &mut Network,
+    key: u64,
+    now: Ns,
+    rec: &mut Recorder,
+) -> ChaseResult {
+    let tree = dpu.btree.as_ref().expect("tree exists");
+    let mut lba = tree.root_lba();
+    let height = tree.height();
+    let mut t = now;
+    let mut rtts = 0;
+    let mut value = None;
+    for level in 0..height {
+        let (resp, served) = dpu
+            .dispatch_traced(t, TreeOp::NodeRead { lba }, rec)
+            .expect("node read");
+        let ServiceResponse::Node(data) = resp else {
+            unreachable!("node read returns bytes");
+        };
+        let work = served - t;
+        let d = channel
+            .call_traced(net, MethodId(2), t, 16, BLOCK, work, rec)
+            .expect("rpc");
+        t = d.done;
+        rtts += d.wire_rounds;
+        let tag = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        let n = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")) as usize;
+        let word = |i: usize| -> u64 {
+            u64::from_le_bytes(data[16 + i * 8..24 + i * 8].try_into().expect("8 bytes"))
+        };
+        if tag == 1 {
+            for i in 0..n {
+                if word(i) == key {
+                    value = Some(word(n + i));
+                }
+            }
+            debug_assert_eq!(level + 1, height);
+        } else {
+            let mut idx = 0;
+            while idx < n && word(idx) <= key {
+                idx += 1;
+            }
+            lba = word(n + idx);
+        }
+    }
+    rec.record_op("e6.client_driven", t.saturating_sub(now));
+    ChaseResult {
+        value,
+        done: t,
+        rtts,
+    }
+}
+
 /// Memory-resident pointer chasing: the tree's nodes live in the DPU's
 /// HBM/DRAM (the disaggregated-*memory* flavour of §2.4, as in Clio),
 /// so per-node work is a DRAM access and the network round trips
@@ -184,7 +273,7 @@ mod tests {
     use hyperion_net::transport::{Endpoint, EndpointKind, Transport, TransportKind};
 
     fn setup(keys: u64) -> (HyperionDpu, Network, RpcChannel, Ns) {
-        let mut dpu = HyperionDpu::assemble(1);
+        let mut dpu = hyperion::dpu::DpuBuilder::new().auth_key(1).build();
         let t = dpu.boot(Ns::ZERO).unwrap();
         let t = populate_tree(&mut dpu, keys, t);
         let mut net = Network::new();
@@ -235,6 +324,27 @@ mod tests {
             (4.0..7.0).contains(&speedup),
             "memory-resident speedup tracks height: {speedup}"
         );
+    }
+
+    #[test]
+    fn traced_lookups_match_untraced_timing() {
+        let (mut dpu1, mut net1, mut ch1, t1) = setup(5_000);
+        let (mut dpu2, mut net2, mut ch2, t2) = setup(5_000);
+        assert_eq!(t1, t2);
+        let mut rec = Recorder::new("t");
+        let off1 = offloaded_lookup(&mut dpu1, &mut ch1, &mut net1, 499, t1);
+        let off2 = offloaded_lookup_traced(&mut dpu2, &mut ch2, &mut net2, 499, t2, &mut rec);
+        assert_eq!(off1, off2);
+        let cli1 = client_driven_lookup(&mut dpu1, &mut ch1, &mut net1, 499, off1.done);
+        let cli2 =
+            client_driven_lookup_traced(&mut dpu2, &mut ch2, &mut net2, 499, off2.done, &mut rec);
+        assert_eq!(cli1, cli2);
+        // Instrumentation closed every span and sampled both op families.
+        assert_eq!(rec.open_spans(), 0);
+        assert!(rec.spans().len() > 3, "spans: {}", rec.spans().len());
+        let ops: Vec<&str> = rec.op_histograms().map(|(n, _)| n).collect();
+        assert!(ops.contains(&"e6.offloaded"), "{ops:?}");
+        assert!(ops.contains(&"e6.client_driven"), "{ops:?}");
     }
 
     #[test]

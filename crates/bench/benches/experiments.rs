@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use hyperion::control::ControlPlane;
-use hyperion::dpu::HyperionDpu;
+use hyperion::dpu::DpuBuilder;
 use hyperion_baseline::pairwise::{run_pattern, Pattern};
 use hyperion_bench::experiments;
 use hyperion_ebpf::{assemble, verify, Vm};
@@ -27,7 +27,7 @@ fn print_tables(id: &str, tables: Vec<hyperion_bench::Table>) {
 
 fn bench_e1(c: &mut Criterion) {
     print_tables("e1", experiments::e1::run());
-    let mut dpu = HyperionDpu::assemble(1);
+    let mut dpu = DpuBuilder::new().auth_key(1).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     dpu.segments
         .create(SegmentId(1), 4096, AllocHint::Durable, t0)
@@ -77,11 +77,8 @@ fn bench_e4(c: &mut Criterion) {
     c.bench_function("e4/compile_to_pipeline", |b| {
         b.iter(|| {
             black_box(
-                hyperion_hdl::compile(
-                    &verified,
-                    hyperion_fabric::ClockDomain::new(250),
-                )
-                .expect("compile"),
+                hyperion_hdl::compile(&verified, hyperion_fabric::ClockDomain::new(250))
+                    .expect("compile"),
             )
         })
     });
@@ -112,13 +109,12 @@ fn bench_e5(c: &mut Criterion) {
 
 fn bench_e6(c: &mut Criterion) {
     print_tables("e6", experiments::e6::run());
-    let mut dpu = HyperionDpu::assemble(1);
+    let mut dpu = DpuBuilder::new().auth_key(1).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     let t0 = hyperion_apps::pointer_chase::populate_tree(&mut dpu, 5_000, t0);
     let mut net = hyperion_net::Network::new();
     let client = hyperion_net::Endpoint::new(net.add_node(), hyperion_net::EndpointKind::Kernel);
-    let server =
-        hyperion_net::Endpoint::new(net.add_node(), hyperion_net::EndpointKind::Hardware);
+    let server = hyperion_net::Endpoint::new(net.add_node(), hyperion_net::EndpointKind::Hardware);
     let mut ch = hyperion_net::RpcChannel::new(
         client,
         server,
@@ -129,9 +125,8 @@ fn bench_e6(c: &mut Criterion) {
     c.bench_function("e6/offloaded_lookup", |b| {
         b.iter(|| {
             key = (key + 97) % 5_000;
-            let r = hyperion_apps::pointer_chase::offloaded_lookup(
-                &mut dpu, &mut ch, &mut net, key, t,
-            );
+            let r =
+                hyperion_apps::pointer_chase::offloaded_lookup(&mut dpu, &mut ch, &mut net, key, t);
             t = r.done;
             black_box(r)
         })
@@ -158,7 +153,7 @@ fn bench_e8(c: &mut Criterion) {
     c.bench_function("e8/tenancy_run_small", |b| {
         b.iter(|| {
             // Fresh DPU per run: slots are consumed by each deployment.
-            let mut dpu = HyperionDpu::assemble(0xC0FFEE);
+            let mut dpu = DpuBuilder::new().auth_key(0xC0FFEE).build();
             let t0 = dpu.boot(Ns::ZERO).expect("boot");
             let mut cp = ControlPlane::new(0xC0FFEE);
             black_box(
@@ -230,7 +225,7 @@ fn bench_f2(c: &mut Criterion) {
     print_tables("f2", experiments::figure2::run());
     c.bench_function("f2/full_boot", |b| {
         b.iter(|| {
-            let mut dpu = HyperionDpu::assemble(1);
+            let mut dpu = DpuBuilder::new().auth_key(1).build();
             black_box(dpu.boot(Ns::ZERO).expect("boot"))
         })
     });

@@ -1,17 +1,48 @@
-//! Prints every experiment table of the reproduction.
+//! Prints every experiment table of the reproduction, followed by the
+//! telemetry breakdown ("where did the nanoseconds go") for the
+//! instrumented experiments (E1, E4, E6, E7).
 //!
 //! Usage:
 //! ```text
-//! report            # all experiments
-//! report e6 f2      # a subset by id (e1..e10, f2)
+//! report              # all experiments + breakdowns
+//! report e6 f2        # a subset by id (e1..e12, f2)
+//! report --json e6    # machine-readable telemetry dumps only
 //! ```
+//!
+//! `--json` prints a JSON array of the selected experiments' telemetry
+//! dumps (deterministic: same build + same selection → byte-identical
+//! output) and skips the human-readable tables.
 
-use hyperion_bench::experiments;
-use hyperion_bench::Table;
+use hyperion_bench::{breakdown, experiments, Table};
+use hyperion_telemetry::json::to_json;
+use hyperion_telemetry::Recorder;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let raw: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let json = raw.iter().any(|a| a == "--json");
+    let args: Vec<String> = raw.into_iter().filter(|a| !a.starts_with('-')).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    // Telemetry recorders for the instrumented experiments.
+    let mut recs: Vec<Recorder> = Vec::new();
+    if want("e1") {
+        recs.push(experiments::e1::telemetry());
+    }
+    if want("e4") {
+        recs.push(experiments::e4::telemetry());
+    }
+    if want("e6") {
+        recs.push(experiments::e6::telemetry());
+    }
+    if want("e7") {
+        recs.push(experiments::e7::telemetry());
+    }
+
+    if json {
+        let dumps: Vec<String> = recs.iter().map(to_json).collect();
+        println!("[{}]", dumps.join(",\n"));
+        return;
+    }
 
     let mut tables: Vec<(&'static str, Vec<Table>)> = Vec::new();
     if want("e1") {
@@ -59,6 +90,16 @@ fn main() {
     for (_, group) in tables {
         for t in group {
             println!("{t}");
+        }
+    }
+
+    if !recs.is_empty() {
+        println!("## Where did the nanoseconds go");
+        println!();
+        for rec in &recs {
+            for t in breakdown::tables(rec) {
+                println!("{t}");
+            }
         }
     }
 }

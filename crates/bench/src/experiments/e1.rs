@@ -6,10 +6,11 @@
 //! comparison the paper makes), and reports energy per operation plus the
 //! physical density ratios.
 
-use hyperion::dpu::HyperionDpu;
+use hyperion::dpu::DpuBuilder;
 use hyperion::platform::{HYPERION, SERVER_1U};
 use hyperion_baseline::host::HostServer;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::table::{fmt_ratio, Table};
 
@@ -31,7 +32,7 @@ pub fn run() -> Vec<Table> {
         // store (one segment-table lookup + the flash work, no software
         // stack). Objects rotate so flash parallelism matches the host
         // side, which also reads distinct LBAs.
-        let mut dpu = HyperionDpu::assemble(1);
+        let mut dpu = DpuBuilder::new().auth_key(1).build();
         let t0 = dpu.boot(Ns::ZERO).expect("boot");
         let blocks = size.div_ceil(4096);
         let nobjs = 8u64;
@@ -91,6 +92,49 @@ pub fn run() -> Vec<Table> {
     vec![energy, density]
 }
 
+/// Telemetry run: the 64 KiB row of the energy comparison with every
+/// read recorded as a hop — flash-resident on the DPU side, full kernel
+/// path on the host side. The hop energy (component active power × hop
+/// time) shows the same asymmetry E1's TDP-envelope numbers do.
+pub fn telemetry() -> Recorder {
+    let mut rec = Recorder::new("E1: 64 KiB durable-object reads, DPU vs host");
+    let size = SIZES[1];
+    let blocks = size.div_ceil(4096);
+    let nobjs = 8u64;
+
+    let mut dpu = DpuBuilder::new().auth_key(1).build();
+    let t0 = dpu.boot(Ns::ZERO).expect("boot");
+    for i in 0..nobjs {
+        dpu.segments
+            .create(
+                hyperion_mem::seglevel::SegmentId(i as u128 + 1),
+                size,
+                hyperion_mem::seglevel::AllocHint::Durable,
+                t0,
+            )
+            .expect("create");
+    }
+    let mut t = t0;
+    for i in 0..OPS {
+        let id = hyperion_mem::seglevel::SegmentId((i % nobjs) as u128 + 1);
+        let (_, done) = dpu.segments.read(id, 0, size, t).expect("read");
+        rec.record_hop(Component::Nvme, "segment:read", t, done);
+        rec.record_op("e1.dpu.read", done.saturating_sub(t));
+        t = done;
+    }
+
+    let mut host = HostServer::new(1 << 22);
+    let mut t = Ns::ZERO;
+    for i in 0..OPS {
+        let lba = (i % nobjs) * blocks;
+        let (_, done) = host.kernel_read(lba, blocks as u32, t).expect("read");
+        rec.record_hop(Component::Host, "kernel:read", t, done);
+        rec.record_op("e1.host.read", done.saturating_sub(t));
+        t = done;
+    }
+    rec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +143,20 @@ mod tests {
     fn tables() -> &'static [Table] {
         static T: OnceLock<Vec<Table>> = OnceLock::new();
         T.get_or_init(run)
+    }
+
+    #[test]
+    fn telemetry_attributes_both_sides() {
+        let rec = telemetry();
+        let rows = rec.hop_rows();
+        let dpu = rows.iter().find(|r| r.name == "segment:read").unwrap();
+        let host = rows.iter().find(|r| r.name == "kernel:read").unwrap();
+        assert_eq!(dpu.count, OPS);
+        assert_eq!(host.count, OPS);
+        // The host burns more energy per read: higher active power and a
+        // longer software path.
+        assert!(host.energy > dpu.energy);
+        assert_eq!(rec.open_spans(), 0);
     }
 
     #[test]

@@ -16,7 +16,12 @@ use crate::table::Table;
 
 /// Runs all four ablations.
 pub fn run() -> Vec<Table> {
-    vec![lanes_table(), bloom_table(), spill_batch_table(), huge_page_table()]
+    vec![
+        lanes_table(),
+        bloom_table(),
+        spill_batch_table(),
+        huge_page_table(),
+    ]
 }
 
 /// A wide, ILP-rich packet program for the lane ablation.
@@ -95,7 +100,11 @@ fn bloom_table() -> Table {
 fn spill_batch_table() -> Table {
     let mut t = Table::new(
         "E11c: LB spill batching vs flash write traffic (150k evictions)",
-        &["batch (records/page)", "spill pages written", "flash MiB programmed"],
+        &[
+            "batch (records/page)",
+            "spill pages written",
+            "flash MiB programmed",
+        ],
     );
     for batch in [1usize, 16, 256] {
         let mut lb = LoadBalancer::with_spill_batch(8, 50_000, 1 << 20, batch);
@@ -146,7 +155,12 @@ mod tests {
     fn more_lanes_shallower_pipelines() {
         let t = lanes_table();
         let depth = |i: usize| -> u64 { t.rows[i][1].parse().unwrap() };
-        assert!(depth(0) > depth(2), "1 lane {} vs 4 lanes {}", depth(0), depth(2));
+        assert!(
+            depth(0) > depth(2),
+            "1 lane {} vs 4 lanes {}",
+            depth(0),
+            depth(2)
+        );
         // Diminishing returns: 8 lanes no worse than 4.
         assert!(depth(3) <= depth(2));
     }

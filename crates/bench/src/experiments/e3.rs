@@ -79,7 +79,12 @@ mod tests {
         assert!(seg.windows(2).all(|w| w[0] == w[1]));
         // Uniform VM cost grows with working set (rows 0, 2, 4).
         let vm_at = |i: usize| -> f64 { t.rows[i][3].parse().unwrap() };
-        assert!(vm_at(2) > vm_at(0), "10k vs 1k: {} vs {}", vm_at(2), vm_at(0));
+        assert!(
+            vm_at(2) > vm_at(0),
+            "10k vs 1k: {} vs {}",
+            vm_at(2),
+            vm_at(0)
+        );
         assert!(vm_at(4) > vm_at(2), "100k vs 10k");
     }
 

@@ -11,6 +11,7 @@ use hyperion_ebpf::{assemble, verify, Vm};
 use hyperion_fabric::clock::ClockDomain;
 use hyperion_hdl::compile;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::table::{fmt_rate, Table};
 
@@ -139,9 +140,66 @@ pub fn run() -> Vec<Table> {
     vec![t]
 }
 
+/// Packets per program in the telemetry run (enough for stable p50/p99,
+/// small enough to keep the span dump readable).
+const TELEMETRY_PACKETS: u64 = 512;
+
+/// Telemetry run: each program's packets recorded both ways — as fabric
+/// hops through the HDL pipeline and as host hops through the
+/// interpreter + kernel packet path.
+pub fn telemetry() -> Recorder {
+    let mut rec = Recorder::new("E4: eBPF packet programs, pipeline vs interpreter");
+    for (name, source, ctx_len) in programs() {
+        // Hop labels must be 'static: one pair per program of the fixed set.
+        let (hw_hop, sw_hop) = match name {
+            "filter" => ("hdl:filter", "interp:filter"),
+            "ip-checksum" => ("hdl:ip-checksum", "interp:ip-checksum"),
+            _ => ("hdl:len-histogram", "interp:len-histogram"),
+        };
+        let program = assemble(name, &source, ctx_len).expect("asm");
+        let verified = verify(&program).expect("verify");
+        let mut hw = compile(&verified, ClockDomain::new(250)).expect("compile");
+
+        let mut vm = Vm::new();
+        if name == "len-histogram" {
+            vm.maps.add_array(16);
+        }
+        let mut packet = vec![0u8; ctx_len as usize];
+        packet[9] = 6;
+        packet[22] = 22;
+        let mut hw_now = Ns::ZERO;
+        let mut sw_now = Ns::ZERO;
+        for i in 0..TELEMETRY_PACKETS {
+            packet[0] = i as u8;
+            let done = hw.admit(hw_now);
+            rec.record_hop(Component::Fabric, hw_hop, hw_now, done);
+            hw_now = done;
+
+            let r = vm.run(&program, &mut packet).expect("run");
+            let sw_ns =
+                SOFT_PACKET_OVERHEAD.0 + (r.insns as f64 * INTERP_NS_PER_INSN).round() as u64;
+            rec.record_hop(Component::Host, sw_hop, sw_now, sw_now + Ns(sw_ns));
+            sw_now += Ns(sw_ns);
+        }
+    }
+    rec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_shows_pipeline_beating_interpreter() {
+        let rec = telemetry();
+        let rows = rec.hop_rows();
+        let hw = rows.iter().find(|r| r.name == "hdl:filter").unwrap();
+        let sw = rows.iter().find(|r| r.name == "interp:filter").unwrap();
+        assert_eq!(hw.count, TELEMETRY_PACKETS);
+        assert_eq!(sw.count, TELEMETRY_PACKETS);
+        assert!(sw.total > hw.total, "interpreter must be slower");
+        assert_eq!(rec.open_spans(), 0);
+    }
 
     #[test]
     fn all_programs_verify_and_compile() {
@@ -153,7 +211,12 @@ mod tests {
     fn hardware_wins_by_an_order_of_magnitude_for_stateless() {
         let t = &run()[0];
         // filter row: II = 1, expect >=10x (hXDP-class).
-        let speedup: f64 = t.rows[0].last().unwrap().trim_end_matches('x').parse().unwrap();
+        let speedup: f64 = t.rows[0]
+            .last()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
         assert!(speedup >= 10.0, "filter speedup {speedup}");
     }
 

@@ -2,12 +2,16 @@
 //! (one RTT per B+ tree level) vs. on-DPU traversal (one RTT total),
 //! across tree sizes and all four transports.
 
-use hyperion::dpu::HyperionDpu;
-use hyperion_apps::pointer_chase::{client_driven_lookup, offloaded_lookup, populate_tree};
+use hyperion::dpu::DpuBuilder;
+use hyperion_apps::pointer_chase::{
+    client_driven_lookup, client_driven_lookup_traced, offloaded_lookup, offloaded_lookup_traced,
+    populate_tree,
+};
 use hyperion_net::rpc::RpcChannel;
 use hyperion_net::transport::{Endpoint, EndpointKind, Transport, TransportKind};
 use hyperion_net::Network;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::Recorder;
 
 use crate::table::{fmt_ns, fmt_ratio, Table};
 
@@ -35,7 +39,7 @@ pub fn run() -> Vec<Table> {
         ],
     );
     for &keys in &[100u64, 5_000, 50_000] {
-        let mut dpu = HyperionDpu::assemble(1);
+        let mut dpu = DpuBuilder::new().auth_key(1).build();
         let t0 = dpu.boot(Ns::ZERO).expect("boot");
         let t0 = populate_tree(&mut dpu, keys, t0);
         let height = dpu.btree.as_ref().expect("tree").height();
@@ -74,7 +78,7 @@ pub fn run() -> Vec<Table> {
         "E6b: pointer chasing by transport (50k keys)",
         &["transport", "client-driven lat", "offloaded lat", "speedup"],
     );
-    let mut dpu = HyperionDpu::assemble(1);
+    let mut dpu = DpuBuilder::new().auth_key(1).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     // The flash timeline is shared across the sweep; thread time forward
     // so no transport is measured against a back-dated device state.
@@ -125,6 +129,29 @@ pub fn run() -> Vec<Table> {
     vec![depth_table, transport_table, mem_table]
 }
 
+/// Telemetry run: the 5k-key UDP configuration with both lookup styles
+/// traced end to end — wire legs, service dispatch, per-level node
+/// fetches, and whole-lookup op samples. This recorder also backs the
+/// determinism property test (same seed → byte-identical dump).
+pub fn telemetry() -> Recorder {
+    let mut rec = Recorder::new("E6: pointer chasing, client-driven vs offloaded (5k keys, UDP)");
+    let keys = 5_000u64;
+    let mut dpu = DpuBuilder::new().auth_key(1).build();
+    let t0 = dpu.boot(Ns::ZERO).expect("boot");
+    let t0 = populate_tree(&mut dpu, keys, t0);
+    let mut net = Network::new();
+    let mut ch = channel(&mut net, TransportKind::Udp);
+    let mut t = t0;
+    for i in 0..LOOKUPS {
+        let key = (i * keys / LOOKUPS).min(keys - 1);
+        let cli = client_driven_lookup_traced(&mut dpu, &mut ch, &mut net, key, t, &mut rec);
+        t = cli.done;
+        let off = offloaded_lookup_traced(&mut dpu, &mut ch, &mut net, key, t, &mut rec);
+        t = off.done;
+    }
+    rec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,11 +163,32 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_separates_the_two_lookup_styles() {
+        let rec = telemetry();
+        let ops: Vec<(&str, u64, u64)> = rec
+            .op_histograms()
+            .map(|(n, h)| (n, h.count(), h.percentile(50.0)))
+            .collect();
+        let cli = ops.iter().find(|(n, ..)| *n == "e6.client_driven").unwrap();
+        let off = ops.iter().find(|(n, ..)| *n == "e6.offloaded").unwrap();
+        assert_eq!(cli.1, LOOKUPS);
+        assert_eq!(off.1, LOOKUPS);
+        // The whole point of E6: client-driven median latency is worse.
+        assert!(cli.2 > off.2, "client {} vs offloaded {}", cli.2, off.2);
+        assert_eq!(rec.open_spans(), 0);
+    }
+
+    #[test]
     fn offload_always_wins_and_grows_with_depth() {
         let tables = tables();
         let t = &tables[0];
         let speedup = |i: usize| -> f64 {
-            t.rows[i].last().unwrap().trim_end_matches('x').parse().unwrap()
+            t.rows[i]
+                .last()
+                .unwrap()
+                .trim_end_matches('x')
+                .parse()
+                .unwrap()
         };
         for i in 0..t.rows.len() {
             assert!(speedup(i) > 1.0, "row {i}: {}", speedup(i));

@@ -2,14 +2,15 @@
 //! logging and the load balancer's flash spill behaviour.
 
 use hyperion::control::ControlPlane;
-use hyperion::dpu::HyperionDpu;
-use hyperion_apps::fail2ban::{deploy, run_on_dpu};
+use hyperion::dpu::DpuBuilder;
+use hyperion_apps::fail2ban::{deploy, run_on_dpu, run_on_dpu_traced};
 use hyperion_apps::loadbalancer::LoadBalancer;
 use hyperion_apps::trafficgen::TrafficGen;
 use hyperion_baseline::host::HostServer;
 use hyperion_ebpf::{assemble, Vm};
 use hyperion_net::params::KERNEL_ENDPOINT;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::table::{fmt_rate, Table};
 
@@ -29,7 +30,7 @@ fn fail2ban_table() -> Table {
         &["platform", "packets/s", "bans", "durably logged"],
     );
     // DPU side: deployed kernel + Corfu log.
-    let mut dpu = HyperionDpu::assemble(KEY);
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     let mut cp = ControlPlane::new(KEY);
     let (slot, live) = deploy(&mut dpu, &mut cp, t0).expect("deploy");
@@ -145,10 +146,99 @@ fn lb_table() -> Table {
     t
 }
 
+/// Packets in the telemetry run (smaller than the throughput run: every
+/// packet retains a span).
+const TELEMETRY_PACKETS: u64 = 5_000;
+
+/// Telemetry run: fail2ban both ways. The DPU side traces the fabric
+/// pipeline and the fire-and-forget log appends; the host side traces the
+/// kernel packet path, the synchronous half of each ban's log write, and
+/// the raw-device flash program (with its queue-depth gauge).
+pub fn telemetry() -> Recorder {
+    let mut rec = Recorder::new("E7: fail2ban packet logging, DPU vs host");
+
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
+    let t0 = dpu.boot(Ns::ZERO).expect("boot");
+    let mut cp = ControlPlane::new(KEY);
+    let (slot, live) = deploy(&mut dpu, &mut cp, t0).expect("deploy");
+    let mut gen = TrafficGen::new(99, 5_000, 0.1, 64);
+    let _ = run_on_dpu_traced(
+        &mut dpu,
+        &mut cp,
+        slot,
+        &mut gen,
+        TELEMETRY_PACKETS,
+        live,
+        &mut rec,
+    );
+
+    let program = assemble(
+        "fail2ban",
+        hyperion_apps::fail2ban::FAIL2BAN_EBPF,
+        hyperion_apps::fail2ban::CTX_LEN,
+    )
+    .expect("asm");
+    let mut vm = Vm::new();
+    vm.maps.add_hash(1 << 20);
+    vm.maps.add_hash(1 << 20);
+    let mut host = HostServer::new(1 << 20);
+    let mut gen = TrafficGen::new(99, 5_000, 0.1, 64);
+    let mut now = Ns::ZERO;
+    let mut log_lba = 0u64;
+    const INTERP_NS_PER_INSN: u64 = 1;
+    for _ in 0..TELEMETRY_PACKETS {
+        let (_, packet) = gen.next_packet();
+        let mut ctx = vec![0u8; hyperion_apps::fail2ban::CTX_LEN as usize];
+        ctx[0..8].copy_from_slice(&packet.flow.hash64().to_le_bytes());
+        ctx[8] = packet.payload[0];
+        let r = vm.run(&program, &mut ctx).expect("run");
+        let done = host.cpu(now, KERNEL_ENDPOINT + Ns(r.insns * INTERP_NS_PER_INSN));
+        rec.record_hop(Component::Host, "kernel:packet", now, done);
+        now = done;
+        if r.ret == 1 {
+            let t = host.cpu(
+                now,
+                hyperion_baseline::host::SYSCALL + hyperion_baseline::host::BLOCK_STACK,
+            );
+            let t = host.copy(t, 4096);
+            rec.record_hop(Component::Host, "kernel:log_write", now, t);
+            now = t;
+            host.raw_device()
+                .submit_traced(
+                    hyperion_nvme::device::Command::Write {
+                        lba: log_lba,
+                        data: bytes::Bytes::from(vec![0u8; 4096]),
+                    },
+                    now,
+                    &mut rec,
+                )
+                .expect("log write");
+            log_lba += 1;
+        }
+    }
+    rec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::OnceLock;
+
+    #[test]
+    fn telemetry_traces_both_platforms() {
+        let rec = telemetry();
+        let rows = rec.hop_rows();
+        let pipeline = rows.iter().find(|r| r.name == "f2b:pipeline").unwrap();
+        let kernel = rows.iter().find(|r| r.name == "kernel:packet").unwrap();
+        assert_eq!(pipeline.count, TELEMETRY_PACKETS);
+        assert_eq!(kernel.count, TELEMETRY_PACKETS);
+        // Same traffic, same classifier: both sides persist bans, and the
+        // host pays strictly more time per packet.
+        assert!(rows.iter().any(|r| r.name == "log:append"));
+        assert!(rows.iter().any(|r| r.name == "nvme:write"));
+        assert!(kernel.total > pipeline.total);
+        assert_eq!(rec.open_spans(), 0);
+    }
 
     fn f2b() -> &'static Table {
         static T: OnceLock<Table> = OnceLock::new();

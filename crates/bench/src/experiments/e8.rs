@@ -4,7 +4,7 @@
 //! inflate each other's tails.
 
 use hyperion::control::ControlPlane;
-use hyperion::dpu::HyperionDpu;
+use hyperion::dpu::DpuBuilder;
 use hyperion::tenancy::run_with_co_tenants;
 use hyperion_baseline::host::HostServer;
 use hyperion_sim::rng::Rng;
@@ -25,17 +25,10 @@ const PERIOD: Ns = Ns(2_000);
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E8: resident-tenant latency under co-tenant churn",
-        &[
-            "platform",
-            "co-tenants",
-            "p50",
-            "p99",
-            "p99.9",
-            "max",
-        ],
+        &["platform", "co-tenants", "p50", "p99", "p99.9", "max"],
     );
     for &co in &[0usize, 2, 4] {
-        let mut dpu = HyperionDpu::assemble(KEY);
+        let mut dpu = DpuBuilder::new().auth_key(KEY).build();
         let t0 = dpu.boot(Ns::ZERO).expect("boot");
         let mut cp = ControlPlane::new(KEY);
         let report =

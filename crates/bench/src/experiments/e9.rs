@@ -70,7 +70,7 @@ fn replication_table() -> Table {
     );
     for replication in [1usize, 2] {
         let mut log = CorfuLog::new_replicated(4, 1 << 16, replication);
-        let mut client_time = vec![Ns::ZERO; 4];
+        let mut client_time = [Ns::ZERO; 4];
         let n = 512u64;
         for i in 0..n {
             let c = (i as usize) % 4;

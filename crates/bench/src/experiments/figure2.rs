@@ -3,7 +3,7 @@
 //! accelerator row → NVMe host IP → flash, with zero CPU involvement.
 
 use hyperion::control::{ControlPlane, ControlRequest, ControlResponse};
-use hyperion::dpu::HyperionDpu;
+use hyperion::dpu::DpuBuilder;
 use hyperion_mem::seglevel::{AllocHint, SegmentId};
 use hyperion_sim::time::Ns;
 
@@ -17,7 +17,7 @@ pub fn run() -> Vec<Table> {
         "F2: Figure-2 end-to-end path (4 KiB object, no CPU anywhere)",
         &["stage", "completed at", "cpu hops so far"],
     );
-    let mut dpu = HyperionDpu::assemble(KEY);
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
     let mut cp = ControlPlane::new(KEY);
 
     let booted = dpu.boot(Ns::ZERO).expect("boot");

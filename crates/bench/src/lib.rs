@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod experiments;
 pub mod table;
 

@@ -19,7 +19,7 @@ use hyperion_net::{NetError, Network};
 use hyperion_sim::time::Ns;
 use hyperion_storage::corfu::{CorfuError, LogEntry, LogUnit, Sequencer};
 
-use crate::dpu::HyperionDpu;
+use crate::dpu::{DpuBuilder, HyperionDpu};
 use crate::services::{ServiceError, ServiceRequest, ServiceResponse, TableRegistry};
 
 /// A shared-nothing cluster of DPUs with client-side partitioning.
@@ -64,7 +64,7 @@ impl DpuCluster {
         let mut dpus = Vec::with_capacity(n);
         let mut ready = now;
         for _ in 0..n {
-            let mut dpu = HyperionDpu::assemble(auth_key);
+            let mut dpu = DpuBuilder::new().auth_key(auth_key).build();
             // Members boot in parallel (each has its own board).
             let r = dpu.boot(now).expect("boot");
             ready = ready.max(r);
@@ -248,7 +248,14 @@ mod tests {
         let mut now = t;
         for k in 0..60u64 {
             let (owner, _, done) = cluster
-                .serve_partitioned(k, ServiceRequest::KvPut { key: k, value: k * 2 }, now)
+                .serve_partitioned(
+                    k,
+                    ServiceRequest::KvPut {
+                        key: k,
+                        value: k * 2,
+                    },
+                    now,
+                )
                 .expect("put");
             owners_seen.insert(owner);
             now = done;

@@ -132,11 +132,10 @@ impl ControlPlane {
                 source,
                 ctx_min_len,
             } => {
-                let program =
-                    assemble(name, &source, ctx_min_len).map_err(ControlError::Asm)?;
+                let program = assemble(name, &source, ctx_min_len).map_err(ControlError::Asm)?;
                 let verified = verify(&program).map_err(ControlError::Verify)?;
-                let pipeline = compile(&verified, dpu.fabric.kernel_clock())
-                    .map_err(ControlError::Compile)?;
+                let pipeline =
+                    compile(&verified, dpu.fabric.kernel_clock()).map_err(ControlError::Compile)?;
                 let bitstream = to_bitstream(&pipeline, self.auth_key);
                 let (slot, live_at) = dpu
                     .fabric
@@ -189,7 +188,7 @@ mod tests {
     const KEY: u64 = 0xC0FFEE;
 
     fn booted() -> HyperionDpu {
-        let mut dpu = HyperionDpu::assemble(KEY);
+        let mut dpu = crate::dpu::DpuBuilder::new().auth_key(KEY).build();
         dpu.boot(Ns::ZERO).unwrap();
         dpu
     }
@@ -235,10 +234,7 @@ mod tests {
         // The deployed kernel executes packets.
         let k = cp.kernel_mut(slot).unwrap();
         let mut packet = vec![7u8; 64];
-        let (result, _) = k
-            .pipeline
-            .process(&mut k.vm, &mut packet, live_at)
-            .unwrap();
+        let (result, _) = k.pipeline.process(&mut k.vm, &mut packet, live_at).unwrap();
         assert_eq!(result.ret, 7);
     }
 
@@ -300,7 +296,9 @@ mod tests {
             slots_used,
             reconfigs,
             ..
-        } = cp.handle(&mut dpu, ControlRequest::Status, Ns::ZERO).unwrap()
+        } = cp
+            .handle(&mut dpu, ControlRequest::Status, Ns::ZERO)
+            .unwrap()
         else {
             panic!("expected Status");
         };
@@ -310,7 +308,7 @@ mod tests {
 
     #[test]
     fn unbooted_dpu_refuses_control_traffic() {
-        let mut dpu = HyperionDpu::assemble(KEY);
+        let mut dpu = crate::dpu::DpuBuilder::new().auth_key(KEY).build();
         let mut cp = ControlPlane::new(KEY);
         assert!(matches!(
             cp.handle(&mut dpu, ControlRequest::Status, Ns::ZERO),

@@ -36,6 +36,7 @@ pub enum DpuState {
 
 /// Errors from DPU assembly and boot.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DpuError {
     /// Single-level store failure during recovery.
     Store(hyperion_mem::seglevel::StoreError),
@@ -97,6 +98,9 @@ pub struct HyperionDpu {
     pub ports: DpuPorts,
     /// Structural counters (`boots`, `served`).
     pub counters: Counters,
+    /// Columnar tables published on this DPU (what the typed dispatch
+    /// path resolves against).
+    pub(crate) tables: crate::services::TableRegistry,
     booted_at: Ns,
 }
 
@@ -113,18 +117,77 @@ pub struct DpuPorts {
     pub nvme: PortId,
 }
 
-impl HyperionDpu {
+/// Builder for a [`HyperionDpu`].
+///
+/// Defaults match the prototype blueprint: two segment-store SSDs, five
+/// reconfigurable slots, auth key 0. `assemble(auth_key)` is the old
+/// one-knob surface; the builder exposes the assembly choices the paper
+/// treats as deployment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DpuBuilder {
+    segment_ssds: usize,
+    slots: usize,
+    auth_key: u64,
+}
+
+impl Default for DpuBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DpuBuilder {
+    /// A builder with the prototype defaults (2 segment SSDs, 5 slots,
+    /// auth key 0).
+    pub fn new() -> DpuBuilder {
+        DpuBuilder {
+            segment_ssds: 2,
+            slots: 5,
+            auth_key: 0,
+        }
+    }
+
+    /// Number of SSDs backing the single-level segment store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn segment_ssds(mut self, n: usize) -> DpuBuilder {
+        assert!(n > 0, "the segment store needs at least one SSD");
+        self.segment_ssds = n;
+        self
+    }
+
+    /// Number of reconfigurable fabric slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn slots(mut self, n: usize) -> DpuBuilder {
+        assert!(n > 0, "the fabric needs at least one slot");
+        self.slots = n;
+        self
+    }
+
+    /// Bitstream authorization key.
+    pub fn auth_key(mut self, key: u64) -> DpuBuilder {
+        self.auth_key = key;
+        self
+    }
+
     /// Assembles an unbooted DPU with fresh SSDs.
-    pub fn assemble(auth_key: u64) -> HyperionDpu {
-        let mut fabric = Fabric::u280(5, auth_key);
+    pub fn build(self) -> HyperionDpu {
+        let mut fabric = Fabric::u280(self.slots, self.auth_key);
         let qsfp0 = fabric.switch.add_port("qsfp0").expect("fresh switch");
         let qsfp1 = fabric.switch.add_port("qsfp1").expect("fresh switch");
         let accel = fabric.switch.add_port("accel-row").expect("fresh switch");
-        let nvme = fabric.switch.add_port("nvme-host-ip").expect("fresh switch");
-        let devices = vec![
-            NvmeDevice::new_block(SSD_LBAS),
-            NvmeDevice::new_block(SSD_LBAS),
-        ];
+        let nvme = fabric
+            .switch
+            .add_port("nvme-host-ip")
+            .expect("fresh switch");
+        let devices = (0..self.segment_ssds)
+            .map(|_| NvmeDevice::new_block(SSD_LBAS))
+            .collect();
         HyperionDpu {
             state: DpuState::PoweredOff,
             fabric,
@@ -144,8 +207,17 @@ impl HyperionDpu {
                 nvme,
             },
             counters: Counters::new(),
+            tables: crate::services::TableRegistry::default(),
             booted_at: Ns::ZERO,
         }
+    }
+}
+
+impl HyperionDpu {
+    /// Assembles an unbooted DPU with fresh SSDs.
+    #[deprecated(since = "0.1.0", note = "use `DpuBuilder` instead")]
+    pub fn assemble(auth_key: u64) -> HyperionDpu {
+        DpuBuilder::new().auth_key(auth_key).build()
     }
 
     /// Boots standalone: JTAG self-tests, then segment-table recovery from
@@ -164,8 +236,8 @@ impl HyperionDpu {
         // First boot: create the exported structures.
         let mut t = t;
         if self.btree.is_none() {
-            let (tree, t2) = BTree::create(&mut self.blocks, t)
-                .map_err(|e| DpuError::Storage(e.to_string()))?;
+            let (tree, t2) =
+                BTree::create(&mut self.blocks, t).map_err(|e| DpuError::Storage(e.to_string()))?;
             self.btree = Some(tree);
             t = t2;
         }
@@ -215,7 +287,7 @@ mod tests {
 
     #[test]
     fn assemble_and_boot_standalone() {
-        let mut dpu = HyperionDpu::assemble(0xC0FFEE);
+        let mut dpu = DpuBuilder::new().auth_key(0xC0FFEE).build();
         assert_eq!(dpu.state(), DpuState::PoweredOff);
         assert!(dpu.require_ready().is_err());
         let ready = dpu.boot(Ns::ZERO).unwrap();
@@ -228,19 +300,21 @@ mod tests {
 
     #[test]
     fn figure2_ports_exist() {
-        let dpu = HyperionDpu::assemble(1);
+        let dpu = DpuBuilder::new().auth_key(1).build();
         assert_ne!(dpu.ports.qsfp0, dpu.ports.qsfp1);
         assert_eq!(dpu.fabric.switch.port("nvme-host-ip"), Some(dpu.ports.nvme));
     }
 
     #[test]
     fn segments_survive_reboot() {
-        let mut dpu = HyperionDpu::assemble(1);
+        let mut dpu = DpuBuilder::new().auth_key(1).build();
         let t = dpu.boot(Ns::ZERO).unwrap();
         dpu.segments
             .create(SegmentId(42), 4096, AllocHint::Durable, t)
             .unwrap();
-        dpu.segments.write(SegmentId(42), 0, b"boot-proof", t).unwrap();
+        dpu.segments
+            .write(SegmentId(42), 0, b"boot-proof", t)
+            .unwrap();
         let t = dpu.segments.persist_table(t).unwrap();
         // Reboot the same DPU.
         let t = dpu.boot(t).unwrap();
@@ -252,7 +326,7 @@ mod tests {
     fn end_to_end_path_has_no_cpu_hops() {
         // The Figure-2 smoke path: network port -> accel row -> NVMe IP,
         // then a P2P DMA across the FPGA root complex. No cpu_hops.
-        let mut dpu = HyperionDpu::assemble(1);
+        let mut dpu = DpuBuilder::new().auth_key(1).build();
         dpu.boot(Ns::ZERO).unwrap();
         let t = dpu
             .fabric

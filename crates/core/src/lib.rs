@@ -32,10 +32,13 @@ pub mod tenancy;
 
 pub use cluster::{ClusterError, ClusterLog, DpuCluster};
 pub use control::{ControlError, ControlPlane, ControlRequest, ControlResponse, DeployedKernel};
-pub use dpu::{DpuError, DpuPorts, DpuState, HyperionDpu, SSD_LBAS};
+pub use dpu::{DpuBuilder, DpuError, DpuPorts, DpuState, HyperionDpu, SSD_LBAS};
 pub use nvmeof::{
     CommandCapsule, FabricOpcode, FabricStatus, Initiator, NvmeOfTarget, ResponseCapsule,
 };
 pub use platform::{PlatformSpec, HYPERION, SERVER_1U};
-pub use services::{ServiceError, ServiceRequest, ServiceResponse, TableRegistry};
+pub use services::{
+    ColumnarOp, FileOp, KvOp, LogOp, ServiceError, ServiceOp, ServiceRequest, ServiceResponse,
+    TableRegistry, TreeOp,
+};
 pub use tenancy::{run_with_co_tenants, TenancyReport};

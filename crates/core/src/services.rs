@@ -8,19 +8,30 @@
 //! completion time is the *server work* a transport charges between
 //! request arrival and response departure — with no host CPU anywhere.
 //!
-//! `TreeNodeRead` exists for the baseline side of experiment E6: a
+//! The surface is typed by domain: [`KvOp`], [`TreeOp`], [`LogOp`],
+//! [`FileOp`], and [`ColumnarOp`] each dispatch with the uniform signature
+//! `dispatch(self, &mut HyperionDpu, now) -> Result<(ServiceResponse, Ns),
+//! ServiceError>`, and [`ServiceOp`] is the umbrella a transport endpoint
+//! routes on. The flat [`ServiceRequest`] enum and
+//! [`HyperionDpu::serve`] remain as a thin compatibility wrapper over the
+//! same dispatch path.
+//!
+//! `TreeOp::NodeRead` exists for the baseline side of experiment E6: a
 //! client-driven pointer chase fetches one node per RPC, while
-//! `TreeLookup` does the whole traversal in one RPC.
+//! `TreeOp::Lookup` does the whole traversal in one RPC.
 
 use bytes::Bytes;
 use hyperion_sim::time::Ns;
 use hyperion_storage::columnar::{self, ColumnBatch, FileMeta, Predicate, ScanStats};
 use hyperion_storage::corfu::LogEntry;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::dpu::{DpuError, HyperionDpu};
 
-/// A service request.
+/// A service request (flat compatibility surface; new code should prefer
+/// the typed op groups and [`HyperionDpu::dispatch`]).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum ServiceRequest {
     /// KV put (LSM-backed).
     KvPut {
@@ -103,6 +114,7 @@ pub enum ServiceRequest {
 
 /// A service response.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum ServiceResponse {
     /// Generic acknowledgement.
     Ok,
@@ -139,6 +151,7 @@ pub enum ServiceResponse {
 
 /// Service errors.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// DPU not booted.
     Dpu(DpuError),
@@ -183,122 +196,432 @@ pub struct TableRegistry {
 
 impl TableRegistry {
     fn get(&self, name: &str) -> Option<&FileMeta> {
-        self.tables
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, m)| m)
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    fn insert(&mut self, name: String, meta: FileMeta) {
+        self.tables.push((name, meta));
     }
 }
 
-impl HyperionDpu {
-    /// Publishes a columnar table on the structure volume; it becomes
-    /// scannable via [`ServiceRequest::ColumnarScan`].
-    pub fn publish_table(
-        &mut self,
-        registry: &mut TableRegistry,
-        name: impl Into<String>,
-        batch: &ColumnBatch,
-        rows_per_group: usize,
-        now: Ns,
-    ) -> Result<Ns, ServiceError> {
-        let (meta, t) = columnar::write_file(&mut self.blocks, batch, rows_per_group, now)
-            .map_err(ServiceError::Columnar)?;
-        registry.tables.push((name.into(), meta));
-        Ok(t)
-    }
+// ---------------------------------------------------------------------------
+// Typed op groups
+// ---------------------------------------------------------------------------
 
-    /// Serves one request at `now`; returns the response and the instant
-    /// the DPU finishes the work.
-    pub fn serve(
-        &mut self,
-        registry: &TableRegistry,
-        request: ServiceRequest,
-        now: Ns,
-    ) -> Result<(ServiceResponse, Ns), ServiceError> {
-        self.require_ready().map_err(ServiceError::Dpu)?;
-        self.counters.bump("served");
-        match request {
-            ServiceRequest::KvPut { key, value } => {
-                let t = self
-                    .lsm
-                    .put(&mut self.blocks, key, value, now)
-                    .map_err(ServiceError::Lsm)?;
-                Ok((ServiceResponse::Ok, t))
-            }
-            ServiceRequest::KvGet { key } => {
-                let (v, t) = self
-                    .lsm
-                    .get(&mut self.blocks, key, now)
-                    .map_err(ServiceError::Lsm)?;
-                Ok((ServiceResponse::Value(v), t))
-            }
+/// Key-value operations: the LSM-backed KV export plus the device-native
+/// KV-SSD namespace.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum KvOp {
+    /// KV put (LSM-backed).
+    Put {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// KV get.
+    Get {
+        /// Key.
+        key: u64,
+    },
+    /// Store a key/value pair on the KV-SSD namespace.
+    SsdPut {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Look up a key on the KV-SSD namespace.
+    SsdGet {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+/// B+ tree operations (the §2.4 pointer-chasing service).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum TreeOp {
+    /// Insert into the exported B+ tree.
+    Insert {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Full on-DPU traversal (one RPC total).
+    Lookup {
+        /// Key.
+        key: u64,
+    },
+    /// Fetch one raw node (client-driven traversal building block).
+    NodeRead {
+        /// Node LBA.
+        lba: u64,
+    },
+}
+
+/// Shared-log operations (the Corfu export).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum LogOp {
+    /// Append to the shared log.
+    Append {
+        /// Entry payload.
+        data: Bytes,
+    },
+    /// Read a log position.
+    Read {
+        /// Position.
+        position: u64,
+    },
+}
+
+/// File-system operations.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum FileOp {
+    /// Read a whole file by path through the on-DPU file system.
+    Read {
+        /// Absolute path.
+        path: String,
+    },
+}
+
+/// Columnar analytics operations over published tables.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ColumnarOp {
+    /// Scan a published table.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Projected columns.
+        projection: Vec<String>,
+        /// Optional pushed-down predicate.
+        predicate: Option<Predicate>,
+    },
+    /// Scan + aggregate; only the scalar leaves the DPU.
+    Aggregate {
+        /// Table name.
+        table: String,
+        /// Column to aggregate.
+        column: String,
+        /// Aggregate function.
+        agg: hyperion_storage::compute::Agg,
+        /// Optional pushed-down predicate.
+        predicate: Option<Predicate>,
+    },
+}
+
+/// The umbrella over every op group: what a transport endpoint routes on.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ServiceOp {
+    /// Key-value ops.
+    Kv(KvOp),
+    /// B+ tree ops.
+    Tree(TreeOp),
+    /// Shared-log ops.
+    Log(LogOp),
+    /// File-system ops.
+    File(FileOp),
+    /// Columnar analytics ops.
+    Columnar(ColumnarOp),
+}
+
+impl From<KvOp> for ServiceOp {
+    fn from(op: KvOp) -> ServiceOp {
+        ServiceOp::Kv(op)
+    }
+}
+
+impl From<TreeOp> for ServiceOp {
+    fn from(op: TreeOp) -> ServiceOp {
+        ServiceOp::Tree(op)
+    }
+}
+
+impl From<LogOp> for ServiceOp {
+    fn from(op: LogOp) -> ServiceOp {
+        ServiceOp::Log(op)
+    }
+}
+
+impl From<FileOp> for ServiceOp {
+    fn from(op: FileOp) -> ServiceOp {
+        ServiceOp::File(op)
+    }
+}
+
+impl From<ColumnarOp> for ServiceOp {
+    fn from(op: ColumnarOp) -> ServiceOp {
+        ServiceOp::Columnar(op)
+    }
+}
+
+impl From<ServiceRequest> for ServiceOp {
+    fn from(req: ServiceRequest) -> ServiceOp {
+        match req {
+            ServiceRequest::KvPut { key, value } => ServiceOp::Kv(KvOp::Put { key, value }),
+            ServiceRequest::KvGet { key } => ServiceOp::Kv(KvOp::Get { key }),
+            ServiceRequest::KvSsdPut { key, value } => ServiceOp::Kv(KvOp::SsdPut { key, value }),
+            ServiceRequest::KvSsdGet { key } => ServiceOp::Kv(KvOp::SsdGet { key }),
             ServiceRequest::TreeInsert { key, value } => {
-                let tree = self.btree.as_mut().expect("boot created the tree");
-                let t = tree
-                    .insert(&mut self.blocks, key, value, now)
-                    .map_err(ServiceError::Tree)?;
-                Ok((ServiceResponse::Ok, t))
+                ServiceOp::Tree(TreeOp::Insert { key, value })
             }
-            ServiceRequest::TreeLookup { key } => {
-                let tree = self.btree.as_ref().expect("boot created the tree");
-                let (v, t) = tree
-                    .get(&mut self.blocks, key, now)
-                    .map_err(ServiceError::Tree)?;
-                Ok((ServiceResponse::Value(v), t))
-            }
-            ServiceRequest::TreeNodeRead { lba } => {
-                let (data, t) = self
-                    .blocks
-                    .read(lba, 1, now)
-                    .map_err(ServiceError::Block)?;
-                Ok((ServiceResponse::Node(Bytes::from(data)), t))
-            }
-            ServiceRequest::LogAppend { data } => {
-                let (position, t) = self.log.append(&data, now).map_err(ServiceError::Log)?;
-                Ok((ServiceResponse::Appended { position }, t))
-            }
-            ServiceRequest::LogRead { position } => {
-                let (entry, t) = self.log.read(position, now).map_err(ServiceError::Log)?;
-                Ok((ServiceResponse::Entry(entry), t))
-            }
-            ServiceRequest::FileRead { path } => {
-                let fs = self.fs.as_ref().expect("boot formatted the fs");
-                let (data, t) = fs
-                    .read_file(&mut self.blocks, &path, now)
-                    .map_err(ServiceError::Fs)?;
-                Ok((ServiceResponse::File(Bytes::from(data)), t))
-            }
+            ServiceRequest::TreeLookup { key } => ServiceOp::Tree(TreeOp::Lookup { key }),
+            ServiceRequest::TreeNodeRead { lba } => ServiceOp::Tree(TreeOp::NodeRead { lba }),
+            ServiceRequest::LogAppend { data } => ServiceOp::Log(LogOp::Append { data }),
+            ServiceRequest::LogRead { position } => ServiceOp::Log(LogOp::Read { position }),
+            ServiceRequest::FileRead { path } => ServiceOp::File(FileOp::Read { path }),
             ServiceRequest::ColumnarScan {
                 table,
                 projection,
                 predicate,
-            } => {
-                let meta = registry
-                    .get(&table)
-                    .ok_or_else(|| ServiceError::NoSuchTable(table.clone()))?;
-                let proj: Vec<&str> = projection.iter().map(|s| s.as_str()).collect();
-                let (batch, stats, t) = columnar::scan(
-                    &mut self.blocks,
-                    meta,
-                    &proj,
-                    predicate.as_ref(),
-                    now,
-                )
-                .map_err(ServiceError::Columnar)?;
-                Ok((ServiceResponse::Scan { batch, stats }, t))
-            }
+            } => ServiceOp::Columnar(ColumnarOp::Scan {
+                table,
+                projection,
+                predicate,
+            }),
             ServiceRequest::ColumnarAggregate {
                 table,
                 column,
                 agg,
                 predicate,
+            } => ServiceOp::Columnar(ColumnarOp::Aggregate {
+                table,
+                column,
+                agg,
+                predicate,
+            }),
+        }
+    }
+}
+
+impl KvOp {
+    /// Telemetry/report label for this op.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KvOp::Put { .. } => "kv.put",
+            KvOp::Get { .. } => "kv.get",
+            KvOp::SsdPut { .. } => "kvssd.put",
+            KvOp::SsdGet { .. } => "kvssd.get",
+        }
+    }
+
+    /// Runs this op on the DPU at `now`; returns the response and the
+    /// instant the DPU finishes the work.
+    pub fn dispatch(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        self.dispatch_rec(dpu, now, None)
+    }
+
+    fn dispatch_rec(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+        rec: Option<&mut Recorder>,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        dpu.require_ready().map_err(ServiceError::Dpu)?;
+        let kv_ssd_err = |e: hyperion_nvme::device::NvmeError| {
+            ServiceError::Block(hyperion_storage::blockstore::BlockError::Device(
+                e.to_string(),
+            ))
+        };
+        match self {
+            KvOp::Put { key, value } => {
+                let t = dpu
+                    .lsm
+                    .put(&mut dpu.blocks, key, value, now)
+                    .map_err(ServiceError::Lsm)?;
+                Ok((ServiceResponse::Ok, t))
+            }
+            KvOp::Get { key } => {
+                let (v, t) = dpu
+                    .lsm
+                    .get(&mut dpu.blocks, key, now)
+                    .map_err(ServiceError::Lsm)?;
+                Ok((ServiceResponse::Value(v), t))
+            }
+            KvOp::SsdPut { key, value } => {
+                let cmd = hyperion_nvme::device::Command::KvPut { key, value };
+                let c = match rec {
+                    Some(rec) => dpu.kvssd.submit_traced(cmd, now, rec),
+                    None => dpu.kvssd.submit(cmd, now),
+                }
+                .map_err(kv_ssd_err)?;
+                Ok((ServiceResponse::Ok, c.done))
+            }
+            KvOp::SsdGet { key } => {
+                let cmd = hyperion_nvme::device::Command::KvGet { key };
+                let c = match rec {
+                    Some(rec) => dpu.kvssd.submit_traced(cmd, now, rec),
+                    None => dpu.kvssd.submit(cmd, now),
+                }
+                .map_err(kv_ssd_err)?;
+                let value = match c.response {
+                    hyperion_nvme::device::Response::Data(d) => Some(d),
+                    _ => None,
+                };
+                Ok((ServiceResponse::KvValue(value), c.done))
+            }
+        }
+    }
+}
+
+impl TreeOp {
+    /// Telemetry/report label for this op.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TreeOp::Insert { .. } => "tree.insert",
+            TreeOp::Lookup { .. } => "tree.lookup",
+            TreeOp::NodeRead { .. } => "tree.node_read",
+        }
+    }
+
+    /// Runs this op on the DPU at `now`; returns the response and the
+    /// instant the DPU finishes the work.
+    pub fn dispatch(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        dpu.require_ready().map_err(ServiceError::Dpu)?;
+        match self {
+            TreeOp::Insert { key, value } => {
+                let tree = dpu.btree.as_mut().expect("boot created the tree");
+                let t = tree
+                    .insert(&mut dpu.blocks, key, value, now)
+                    .map_err(ServiceError::Tree)?;
+                Ok((ServiceResponse::Ok, t))
+            }
+            TreeOp::Lookup { key } => {
+                let tree = dpu.btree.as_ref().expect("boot created the tree");
+                let (v, t) = tree
+                    .get(&mut dpu.blocks, key, now)
+                    .map_err(ServiceError::Tree)?;
+                Ok((ServiceResponse::Value(v), t))
+            }
+            TreeOp::NodeRead { lba } => {
+                let (data, t) = dpu.blocks.read(lba, 1, now).map_err(ServiceError::Block)?;
+                Ok((ServiceResponse::Node(Bytes::from(data)), t))
+            }
+        }
+    }
+}
+
+impl LogOp {
+    /// Telemetry/report label for this op.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LogOp::Append { .. } => "log.append",
+            LogOp::Read { .. } => "log.read",
+        }
+    }
+
+    /// Runs this op on the DPU at `now`; returns the response and the
+    /// instant the DPU finishes the work.
+    pub fn dispatch(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        dpu.require_ready().map_err(ServiceError::Dpu)?;
+        match self {
+            LogOp::Append { data } => {
+                let (position, t) = dpu.log.append(&data, now).map_err(ServiceError::Log)?;
+                Ok((ServiceResponse::Appended { position }, t))
+            }
+            LogOp::Read { position } => {
+                let (entry, t) = dpu.log.read(position, now).map_err(ServiceError::Log)?;
+                Ok((ServiceResponse::Entry(entry), t))
+            }
+        }
+    }
+}
+
+impl FileOp {
+    /// Telemetry/report label for this op.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FileOp::Read { .. } => "file.read",
+        }
+    }
+
+    /// Runs this op on the DPU at `now`; returns the response and the
+    /// instant the DPU finishes the work.
+    pub fn dispatch(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        dpu.require_ready().map_err(ServiceError::Dpu)?;
+        match self {
+            FileOp::Read { path } => {
+                let fs = dpu.fs.as_ref().expect("boot formatted the fs");
+                let (data, t) = fs
+                    .read_file(&mut dpu.blocks, &path, now)
+                    .map_err(ServiceError::Fs)?;
+                Ok((ServiceResponse::File(Bytes::from(data)), t))
+            }
+        }
+    }
+}
+
+impl ColumnarOp {
+    /// Telemetry/report label for this op.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ColumnarOp::Scan { .. } => "columnar.scan",
+            ColumnarOp::Aggregate { .. } => "columnar.aggregate",
+        }
+    }
+
+    /// Runs this op on the DPU at `now`, resolving tables against the
+    /// DPU's own published set; returns the response and the instant the
+    /// DPU finishes the work.
+    pub fn dispatch(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        dpu.require_ready().map_err(ServiceError::Dpu)?;
+        match self {
+            ColumnarOp::Scan {
+                table,
+                projection,
+                predicate,
             } => {
-                let meta = registry
+                let meta = dpu
+                    .tables
                     .get(&table)
-                    .ok_or_else(|| ServiceError::NoSuchTable(table.clone()))?;
+                    .ok_or_else(|| ServiceError::NoSuchTable(table.clone()))?
+                    .clone();
+                let proj: Vec<&str> = projection.iter().map(|s| s.as_str()).collect();
+                let (batch, stats, t) =
+                    columnar::scan(&mut dpu.blocks, &meta, &proj, predicate.as_ref(), now)
+                        .map_err(ServiceError::Columnar)?;
+                Ok((ServiceResponse::Scan { batch, stats }, t))
+            }
+            ColumnarOp::Aggregate {
+                table,
+                column,
+                agg,
+                predicate,
+            } => {
+                let meta = dpu
+                    .tables
+                    .get(&table)
+                    .ok_or_else(|| ServiceError::NoSuchTable(table.clone()))?
+                    .clone();
                 let (batch, stats, t) = columnar::scan(
-                    &mut self.blocks,
-                    meta,
+                    &mut dpu.blocks,
+                    &meta,
                     &[column.as_str()],
                     predicate.as_ref(),
                     now,
@@ -314,29 +637,140 @@ impl HyperionDpu {
                 );
                 Ok((ServiceResponse::Aggregate { result, stats }, t + sweep))
             }
-            ServiceRequest::KvSsdPut { key, value } => {
-                let c = self
-                    .kvssd
-                    .submit(hyperion_nvme::device::Command::KvPut { key, value }, now)
-                    .map_err(|e| ServiceError::Block(
-                        hyperion_storage::blockstore::BlockError::Device(e.to_string()),
-                    ))?;
-                Ok((ServiceResponse::Ok, c.done))
+        }
+    }
+}
+
+impl ServiceOp {
+    /// Telemetry/report label for this op.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceOp::Kv(op) => op.label(),
+            ServiceOp::Tree(op) => op.label(),
+            ServiceOp::Log(op) => op.label(),
+            ServiceOp::File(op) => op.label(),
+            ServiceOp::Columnar(op) => op.label(),
+        }
+    }
+
+    /// Routes to the owning group's dispatch.
+    pub fn dispatch(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        self.dispatch_rec(dpu, now, None)
+    }
+
+    fn dispatch_rec(
+        self,
+        dpu: &mut HyperionDpu,
+        now: Ns,
+        rec: Option<&mut Recorder>,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        dpu.counters.bump("served");
+        match self {
+            ServiceOp::Kv(op) => op.dispatch_rec(dpu, now, rec),
+            ServiceOp::Tree(op) => op.dispatch(dpu, now),
+            ServiceOp::Log(op) => op.dispatch(dpu, now),
+            ServiceOp::File(op) => op.dispatch(dpu, now),
+            ServiceOp::Columnar(op) => op.dispatch(dpu, now),
+        }
+    }
+}
+
+impl HyperionDpu {
+    /// Publishes a columnar table on the structure volume; it becomes
+    /// scannable via [`ColumnarOp::Scan`].
+    ///
+    /// The metadata is recorded both on the DPU itself (what
+    /// [`HyperionDpu::dispatch`] resolves against) and in the caller's
+    /// `registry` (the older lookup surface that [`HyperionDpu::serve`]
+    /// accepts).
+    pub fn publish_table(
+        &mut self,
+        registry: &mut TableRegistry,
+        name: impl Into<String>,
+        batch: &ColumnBatch,
+        rows_per_group: usize,
+        now: Ns,
+    ) -> Result<Ns, ServiceError> {
+        let name = name.into();
+        let (meta, t) = columnar::write_file(&mut self.blocks, batch, rows_per_group, now)
+            .map_err(ServiceError::Columnar)?;
+        self.tables.insert(name.clone(), meta.clone());
+        registry.insert(name, meta);
+        Ok(t)
+    }
+
+    /// Runs one typed op at `now`; returns the response and the instant
+    /// the DPU finishes the work. Accepts any op group (or a legacy
+    /// [`ServiceRequest`]) via `Into<ServiceOp>`.
+    pub fn dispatch(
+        &mut self,
+        now: Ns,
+        op: impl Into<ServiceOp>,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        op.into().dispatch(self, now)
+    }
+
+    /// [`HyperionDpu::dispatch`] with telemetry: a [`Component::Service`]
+    /// span over the op, a per-op latency sample under the op's label, a
+    /// fabric slot-occupancy gauge, and nested device spans where the op
+    /// touches the KV-SSD.
+    pub fn dispatch_traced(
+        &mut self,
+        now: Ns,
+        op: impl Into<ServiceOp>,
+        rec: &mut Recorder,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        let op = op.into();
+        let label = op.label();
+        rec.gauge(
+            "fabric:slots_occupied",
+            self.fabric.slots.occupied_slots() as u64,
+        );
+        let span = rec.open(Component::Service, label, now);
+        match op.dispatch_rec(self, now, Some(rec)) {
+            Ok((resp, t)) => {
+                rec.close(span, t);
+                rec.record_op(label, t.saturating_sub(now));
+                Ok((resp, t))
             }
-            ServiceRequest::KvSsdGet { key } => {
-                let c = self
-                    .kvssd
-                    .submit(hyperion_nvme::device::Command::KvGet { key }, now)
-                    .map_err(|e| ServiceError::Block(
-                        hyperion_storage::blockstore::BlockError::Device(e.to_string()),
-                    ))?;
-                let value = match c.response {
-                    hyperion_nvme::device::Response::Data(d) => Some(d),
-                    _ => None,
-                };
-                Ok((ServiceResponse::KvValue(value), c.done))
+            Err(e) => {
+                rec.close(span, now);
+                Err(e)
             }
         }
+    }
+
+    /// Serves one request at `now`; returns the response and the instant
+    /// the DPU finishes the work.
+    ///
+    /// Compatibility wrapper over [`HyperionDpu::dispatch`]: columnar
+    /// table names are resolved against the DPU's published set, with
+    /// `registry` consulted as a fallback for tables published through an
+    /// external registry only.
+    pub fn serve(
+        &mut self,
+        registry: &TableRegistry,
+        request: ServiceRequest,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        // Mirror externally-registered metadata so the typed path sees it.
+        let table = match &request {
+            ServiceRequest::ColumnarScan { table, .. } => Some(table),
+            ServiceRequest::ColumnarAggregate { table, .. } => Some(table),
+            _ => None,
+        };
+        if let Some(table) = table {
+            if self.tables.get(table).is_none() {
+                if let Some(meta) = registry.get(table) {
+                    self.tables.insert(table.clone(), meta.clone());
+                }
+            }
+        }
+        self.dispatch(now, request)
     }
 }
 
@@ -345,7 +779,7 @@ mod tests {
     use super::*;
 
     fn booted() -> HyperionDpu {
-        let mut dpu = HyperionDpu::assemble(1);
+        let mut dpu = crate::dpu::DpuBuilder::new().auth_key(1).build();
         dpu.boot(Ns::ZERO).unwrap();
         dpu
     }
@@ -358,11 +792,64 @@ mod tests {
         let (_, t) = dpu
             .serve(&reg, ServiceRequest::KvPut { key: 5, value: 50 }, t)
             .unwrap();
-        let (resp, _) = dpu.serve(&reg, ServiceRequest::KvGet { key: 5 }, t).unwrap();
+        let (resp, _) = dpu
+            .serve(&reg, ServiceRequest::KvGet { key: 5 }, t)
+            .unwrap();
         let ServiceResponse::Value(v) = resp else {
             panic!("expected value");
         };
         assert_eq!(v, Some(50));
+    }
+
+    #[test]
+    fn typed_dispatch_matches_serve() {
+        let mut dpu = booted();
+        let t = dpu.booted_at();
+        let (_, t) = dpu.dispatch(t, KvOp::Put { key: 9, value: 90 }).unwrap();
+        let (resp, _) = dpu.dispatch(t, KvOp::Get { key: 9 }).unwrap();
+        let ServiceResponse::Value(v) = resp else {
+            panic!("expected value");
+        };
+        assert_eq!(v, Some(90));
+    }
+
+    #[test]
+    fn dispatch_traced_records_span_and_op() {
+        let mut dpu = booted();
+        let t = dpu.booted_at();
+        let mut rec = hyperion_telemetry::Recorder::new("svc");
+        let (_, t2) = dpu
+            .dispatch_traced(t, KvOp::Put { key: 1, value: 2 }, &mut rec)
+            .unwrap();
+        assert!(t2 >= t);
+        assert_eq!(rec.open_spans(), 0);
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].name, "kv.put");
+        let ops: Vec<_> = rec.op_histograms().collect();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, "kv.put");
+        assert_eq!(ops[0].1.count(), 1);
+    }
+
+    #[test]
+    fn kvssd_traced_dispatch_nests_device_span() {
+        let mut dpu = booted();
+        let t = dpu.booted_at();
+        let mut rec = hyperion_telemetry::Recorder::new("svc");
+        dpu.dispatch_traced(
+            t,
+            KvOp::SsdPut {
+                key: b"k".to_vec(),
+                value: Bytes::from_static(b"v"),
+            },
+            &mut rec,
+        )
+        .unwrap();
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "kvssd.put");
+        assert_eq!(spans[1].name, "nvme:kv_put");
+        assert_eq!(spans[1].parent, Some(hyperion_telemetry::SpanId::index(0)));
     }
 
     #[test]
@@ -372,7 +859,14 @@ mod tests {
         let mut t = dpu.booted_at();
         for k in 0..500u64 {
             let (_, t2) = dpu
-                .serve(&reg, ServiceRequest::TreeInsert { key: k, value: k * 3 }, t)
+                .serve(
+                    &reg,
+                    ServiceRequest::TreeInsert {
+                        key: k,
+                        value: k * 3,
+                    },
+                    t,
+                )
                 .unwrap();
             t = t2;
         }
@@ -527,7 +1021,10 @@ mod tests {
         let mut reg = TableRegistry::default();
         let batch = ColumnBatch::new(
             vec!["k".into(), "v".into()],
-            vec![(0..1000u64).collect(), (0..1000u64).map(|x| x * 2).collect()],
+            vec![
+                (0..1000u64).collect(),
+                (0..1000u64).map(|x| x * 2).collect(),
+            ],
         )
         .unwrap();
         let t = dpu
@@ -559,5 +1056,30 @@ mod tests {
             t,
         );
         assert!(matches!(unknown, Err(ServiceError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn typed_columnar_dispatch_uses_dpu_tables() {
+        let mut dpu = booted();
+        let mut reg = TableRegistry::default();
+        let batch = ColumnBatch::new(vec!["k".into()], vec![(0..100u64).collect()]).unwrap();
+        let t = dpu
+            .publish_table(&mut reg, "typed", &batch, 50, dpu.booted_at())
+            .unwrap();
+        // No registry in sight: the DPU resolves its own published set.
+        let (resp, _) = dpu
+            .dispatch(
+                t,
+                ColumnarOp::Scan {
+                    table: "typed".into(),
+                    projection: vec!["k".into()],
+                    predicate: None,
+                },
+            )
+            .unwrap();
+        let ServiceResponse::Scan { batch, .. } = resp else {
+            panic!("expected scan");
+        };
+        assert_eq!(batch.num_rows(), 100);
     }
 }

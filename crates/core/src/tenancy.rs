@@ -97,12 +97,12 @@ mod tests {
 
     #[test]
     fn resident_tail_is_flat_under_co_tenant_churn() {
-        let mut dpu = HyperionDpu::assemble(KEY);
+        let mut dpu = crate::dpu::DpuBuilder::new().auth_key(KEY).build();
         let t = dpu.boot(Ns::ZERO).unwrap();
         let mut cp = ControlPlane::new(KEY);
         let alone = run_with_co_tenants(&mut dpu, &mut cp, 2_000, Ns(1_000), 0, t).unwrap();
 
-        let mut dpu2 = HyperionDpu::assemble(KEY);
+        let mut dpu2 = crate::dpu::DpuBuilder::new().auth_key(KEY).build();
         let t2 = dpu2.boot(Ns::ZERO).unwrap();
         let mut cp2 = ControlPlane::new(KEY);
         let crowded = run_with_co_tenants(&mut dpu2, &mut cp2, 2_000, Ns(1_000), 3, t2).unwrap();
@@ -115,9 +115,6 @@ mod tests {
             crowded.resident_latency.percentile(99.9),
             "resident p99.9 must not move"
         );
-        assert_eq!(
-            alone.resident_latency.max(),
-            crowded.resident_latency.max()
-        );
+        assert_eq!(alone.resident_latency.max(), crowded.resident_latency.max());
     }
 }

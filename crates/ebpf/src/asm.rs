@@ -197,12 +197,22 @@ fn emit(
         "ldxb" | "ldxh" | "ldxw" | "ldxdw" => {
             let [a, b] = two_args(&args, lineno)?;
             let (base, off) = mem_operand(b, lineno)?;
-            out.push(insn::ldx(width_suffix(mnemonic), reg(a, lineno)?, base, off));
+            out.push(insn::ldx(
+                width_suffix(mnemonic),
+                reg(a, lineno)?,
+                base,
+                off,
+            ));
         }
         "stxb" | "stxh" | "stxw" | "stxdw" => {
             let [a, b] = two_args(&args, lineno)?;
             let (base, off) = mem_operand(a, lineno)?;
-            out.push(insn::stx(width_suffix(mnemonic), base, reg(b, lineno)?, off));
+            out.push(insn::stx(
+                width_suffix(mnemonic),
+                base,
+                reg(b, lineno)?,
+                off,
+            ));
         }
         m if m.starts_with("aadd")
             || m.starts_with("aor")
@@ -332,14 +342,20 @@ fn one_arg<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 1], AsmError> 
 fn two_args<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 2], AsmError> {
     match args {
         [a, b] => Ok([a, b]),
-        _ => Err(err(line, format!("expected 2 operands, got {}", args.len()))),
+        _ => Err(err(
+            line,
+            format!("expected 2 operands, got {}", args.len()),
+        )),
     }
 }
 
 fn three_args<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 3], AsmError> {
     match args {
         [a, b, c] => Ok([a, b, c]),
-        _ => Err(err(line, format!("expected 3 operands, got {}", args.len()))),
+        _ => Err(err(
+            line,
+            format!("expected 3 operands, got {}", args.len()),
+        )),
     }
 }
 
@@ -367,7 +383,11 @@ fn imm64(token: &str, line: usize) -> Result<u64, AsmError> {
         body.parse::<u64>()
     }
     .map_err(|_| err(line, format!("bad immediate {token}")))?;
-    Ok(if neg { (value as i64).wrapping_neg() as u64 } else { value })
+    Ok(if neg {
+        (value as i64).wrapping_neg() as u64
+    } else {
+        value
+    })
 }
 
 fn imm32(token: &str, line: usize) -> Result<i32, AsmError> {
@@ -385,7 +405,11 @@ fn mem_operand(token: &str, line: usize) -> Result<(u8, i16), AsmError> {
         .and_then(|t| t.strip_suffix(']'))
         .ok_or_else(|| err(line, format!("expected [reg+off], got {token}")))?;
     let (reg_part, off): (&str, i16) = if let Some(i) = inner.find(['+', '-']) {
-        let sign = if inner.as_bytes()[i] == b'-' { -1i32 } else { 1 };
+        let sign = if inner.as_bytes()[i] == b'-' {
+            -1i32
+        } else {
+            1
+        };
         let n: i32 = inner[i + 1..]
             .trim()
             .parse()

@@ -53,7 +53,11 @@ fn width_name(opbyte: u8) -> &'static str {
 fn disasm_one(insn: Insn, next: Option<Insn>) -> (String, bool) {
     match insn.class() {
         class::ALU64 | class::ALU32 => {
-            let suffix = if insn.class() == class::ALU32 { "32" } else { "" };
+            let suffix = if insn.class() == class::ALU32 {
+                "32"
+            } else {
+                ""
+            };
             if insn.op & 0xf0 == op::END {
                 let dir = if insn.op & src::X != 0 { "be" } else { "le" };
                 return (format!("{dir}{} r{}", insn.imm, insn.dst), false);
@@ -62,7 +66,10 @@ fn disasm_one(insn: Insn, next: Option<Insn>) -> (String, bool) {
             if insn.op & 0xf0 == op::NEG {
                 (format!("{name}{suffix} r{}", insn.dst), false)
             } else if insn.op & src::X != 0 {
-                (format!("{name}{suffix} r{}, r{}", insn.dst, insn.src), false)
+                (
+                    format!("{name}{suffix} r{}, r{}", insn.dst, insn.src),
+                    false,
+                )
             } else {
                 (format!("{name}{suffix} r{}, {}", insn.dst, insn.imm), false)
             }
@@ -84,13 +91,21 @@ fn disasm_one(insn: Insn, next: Option<Insn>) -> (String, bool) {
         ),
         class::STX if insn.op & 0xe0 == crate::insn::mode::ATOMIC => {
             use crate::insn::atomic;
-            let width = if insn.op & 0x18 == size::W { "32" } else { "64" };
+            let width = if insn.op & 0x18 == size::W {
+                "32"
+            } else {
+                "64"
+            };
             let name = if insn.imm == atomic::XCHG {
                 format!("axchg{width}")
             } else if insn.imm == atomic::CMPXCHG {
                 format!("acmpxchg{width}")
             } else {
-                let fetch = if insn.imm & atomic::FETCH != 0 { "f" } else { "" };
+                let fetch = if insn.imm & atomic::FETCH != 0 {
+                    "f"
+                } else {
+                    ""
+                };
                 let base = match insn.imm & !atomic::FETCH {
                     atomic::ADD => "aadd",
                     atomic::OR => "aor",
@@ -126,7 +141,11 @@ fn disasm_one(insn: Insn, next: Option<Insn>) -> (String, bool) {
             false,
         ),
         class::JMP | class::JMP32 => {
-            let suffix = if insn.class() == class::JMP32 { "32" } else { "" };
+            let suffix = if insn.class() == class::JMP32 {
+                "32"
+            } else {
+                ""
+            };
             if insn.is_exit() {
                 ("exit".to_string(), false)
             } else if insn.is_call() {

@@ -231,88 +231,190 @@ impl fmt::Display for Insn {
 
 /// `dst = imm` (64-bit mov of a 32-bit immediate, sign-extended).
 pub fn mov64_imm(dst: u8, imm: i32) -> Insn {
-    Insn { op: class::ALU64 | op::MOV | src::K, dst, src: 0, off: 0, imm }
+    Insn {
+        op: class::ALU64 | op::MOV | src::K,
+        dst,
+        src: 0,
+        off: 0,
+        imm,
+    }
 }
 
 /// `dst = src` (64-bit register move).
 pub fn mov64_reg(dst: u8, src_reg: u8) -> Insn {
-    Insn { op: class::ALU64 | op::MOV | src::X, dst, src: src_reg, off: 0, imm: 0 }
+    Insn {
+        op: class::ALU64 | op::MOV | src::X,
+        dst,
+        src: src_reg,
+        off: 0,
+        imm: 0,
+    }
 }
 
 /// 64-bit ALU with immediate: `dst = dst <op> imm`.
 pub fn alu64_imm(operation: u8, dst: u8, imm: i32) -> Insn {
-    Insn { op: class::ALU64 | operation | src::K, dst, src: 0, off: 0, imm }
+    Insn {
+        op: class::ALU64 | operation | src::K,
+        dst,
+        src: 0,
+        off: 0,
+        imm,
+    }
 }
 
 /// 64-bit ALU with register: `dst = dst <op> src`.
 pub fn alu64_reg(operation: u8, dst: u8, src_reg: u8) -> Insn {
-    Insn { op: class::ALU64 | operation | src::X, dst, src: src_reg, off: 0, imm: 0 }
+    Insn {
+        op: class::ALU64 | operation | src::X,
+        dst,
+        src: src_reg,
+        off: 0,
+        imm: 0,
+    }
 }
 
 /// 32-bit ALU with immediate (upper 32 bits of dst are zeroed).
 pub fn alu32_imm(operation: u8, dst: u8, imm: i32) -> Insn {
-    Insn { op: class::ALU32 | operation | src::K, dst, src: 0, off: 0, imm }
+    Insn {
+        op: class::ALU32 | operation | src::K,
+        dst,
+        src: 0,
+        off: 0,
+        imm,
+    }
 }
 
 /// Load from memory: `dst = *(size *)(src + off)`.
 pub fn ldx(sz: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
-    Insn { op: class::LDX | mode::MEM | sz, dst, src: src_reg, off, imm: 0 }
+    Insn {
+        op: class::LDX | mode::MEM | sz,
+        dst,
+        src: src_reg,
+        off,
+        imm: 0,
+    }
 }
 
 /// Store register to memory: `*(size *)(dst + off) = src`.
 pub fn stx(sz: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
-    Insn { op: class::STX | mode::MEM | sz, dst, src: src_reg, off, imm: 0 }
+    Insn {
+        op: class::STX | mode::MEM | sz,
+        dst,
+        src: src_reg,
+        off,
+        imm: 0,
+    }
 }
 
 /// Store immediate to memory: `*(size *)(dst + off) = imm`.
 pub fn st_imm(sz: u8, dst: u8, off: i16, imm: i32) -> Insn {
-    Insn { op: class::ST | mode::MEM | sz, dst, src: 0, off, imm }
+    Insn {
+        op: class::ST | mode::MEM | sz,
+        dst,
+        src: 0,
+        off,
+        imm,
+    }
 }
 
 /// Conditional jump against an immediate.
 pub fn jmp_imm(cond: u8, dst: u8, imm: i32, off: i16) -> Insn {
-    Insn { op: class::JMP | cond | src::K, dst, src: 0, off, imm }
+    Insn {
+        op: class::JMP | cond | src::K,
+        dst,
+        src: 0,
+        off,
+        imm,
+    }
 }
 
 /// Conditional jump against a register.
 pub fn jmp_reg(cond: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
-    Insn { op: class::JMP | cond | src::X, dst, src: src_reg, off, imm: 0 }
+    Insn {
+        op: class::JMP | cond | src::X,
+        dst,
+        src: src_reg,
+        off,
+        imm: 0,
+    }
 }
 
 /// 32-bit conditional jump against an immediate (compares the low halves).
 pub fn jmp32_imm(cond: u8, dst: u8, imm: i32, off: i16) -> Insn {
-    Insn { op: class::JMP32 | cond | src::K, dst, src: 0, off, imm }
+    Insn {
+        op: class::JMP32 | cond | src::K,
+        dst,
+        src: 0,
+        off,
+        imm,
+    }
 }
 
 /// 32-bit conditional jump against a register.
 pub fn jmp32_reg(cond: u8, dst: u8, src_reg: u8, off: i16) -> Insn {
-    Insn { op: class::JMP32 | cond | src::X, dst, src: src_reg, off, imm: 0 }
+    Insn {
+        op: class::JMP32 | cond | src::X,
+        dst,
+        src: src_reg,
+        off,
+        imm: 0,
+    }
 }
 
 /// Convert `dst` to big-endian of `bits` (16/32/64): `be16`/`be32`/`be64`.
 pub fn to_be(dst: u8, bits: i32) -> Insn {
-    Insn { op: class::ALU32 | op::END | src::X, dst, src: 0, off: 0, imm: bits }
+    Insn {
+        op: class::ALU32 | op::END | src::X,
+        dst,
+        src: 0,
+        off: 0,
+        imm: bits,
+    }
 }
 
 /// Convert `dst` to little-endian of `bits` (16/32/64) — a truncating
 /// no-op on this little-endian machine model.
 pub fn to_le(dst: u8, bits: i32) -> Insn {
-    Insn { op: class::ALU32 | op::END | src::K, dst, src: 0, off: 0, imm: bits }
+    Insn {
+        op: class::ALU32 | op::END | src::K,
+        dst,
+        src: 0,
+        off: 0,
+        imm: bits,
+    }
 }
 
 /// Unconditional jump.
 pub fn ja(off: i16) -> Insn {
-    Insn { op: class::JMP | op::JA, dst: 0, src: 0, off, imm: 0 }
+    Insn {
+        op: class::JMP | op::JA,
+        dst: 0,
+        src: 0,
+        off,
+        imm: 0,
+    }
 }
 
 /// Helper call by id.
 pub fn call(helper: i32) -> Insn {
-    Insn { op: class::JMP | op::CALL, dst: 0, src: 0, off: 0, imm: helper }
+    Insn {
+        op: class::JMP | op::CALL,
+        dst: 0,
+        src: 0,
+        off: 0,
+        imm: helper,
+    }
 }
 
 /// Program exit; the return value is in `r0`.
 pub fn exit() -> Insn {
-    Insn { op: class::JMP | op::EXIT, dst: 0, src: 0, off: 0, imm: 0 }
+    Insn {
+        op: class::JMP | op::EXIT,
+        dst: 0,
+        src: 0,
+        off: 0,
+        imm: 0,
+    }
 }
 
 /// Atomic read-modify-write: `*(size*)(dst + off) <aop>= src`.

@@ -102,10 +102,7 @@ impl MapSet {
                 if (key as usize) < v.len() {
                     Ok(Some(v[key as usize]))
                 } else {
-                    Err(MapError::IndexOutOfBounds {
-                        key,
-                        len: v.len(),
-                    })
+                    Err(MapError::IndexOutOfBounds { key, len: v.len() })
                 }
             }
             MapKind::Hash { entries, .. } => Ok(entries.get(&key).copied()),

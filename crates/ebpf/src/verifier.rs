@@ -422,7 +422,9 @@ fn build_cfg(insns: &[Insn], lddw_tail: &[bool]) -> Result<Vec<Vec<usize>>, Veri
                 return Err(VerifyError::JumpOutOfRange { pc });
             }
             if lddw_tail[target as usize] {
-                return Err(VerifyError::SplitLddw { pc: target as usize });
+                return Err(VerifyError::SplitLddw {
+                    pc: target as usize,
+                });
             }
             succ_list.push(target as usize);
             Ok(())
@@ -515,7 +517,11 @@ fn longest_path(n: usize, succs: &[Vec<usize>], order: &[usize], lddw_tail: &[bo
     let mut dist = vec![0u64; n];
     let mut best = 0;
     for &node in order.iter().rev() {
-        let cost = if lddw_tail.get(node + 1) == Some(&true) { 2 } else { 1 };
+        let cost = if lddw_tail.get(node + 1) == Some(&true) {
+            2
+        } else {
+            1
+        };
         let succ_best = succs[node].iter().map(|&s| dist[s]).max().unwrap_or(0);
         dist[node] = cost + succ_best;
         best = best.max(dist[node]);
@@ -548,7 +554,10 @@ fn abstract_interpret(
         };
         let outs = ai.transfer(pc, &state)?;
         for (succ, out_state) in outs {
-            debug_assert!(succs[pc].contains(&succ), "transfer produced a non-CFG edge");
+            debug_assert!(
+                succs[pc].contains(&succ),
+                "transfer produced a non-CFG edge"
+            );
             match in_states.get_mut(&succ) {
                 Some(existing) => {
                     existing.join_into(&out_state);
@@ -599,8 +608,7 @@ impl<'a> Ai<'a> {
             }
             class::ST | class::STX => {
                 let width = width_of(insn.op);
-                let is_atomic =
-                    insn.class() == class::STX && insn.op & 0xe0 == mode::ATOMIC;
+                let is_atomic = insn.class() == class::STX && insn.op & 0xe0 == mode::ATOMIC;
                 let base = self.read(pc, &st, insn.dst)?;
                 if insn.class() == class::STX {
                     self.read(pc, &st, insn.src)?;
@@ -798,10 +806,7 @@ impl<'a> Ai<'a> {
             }
             (_, Abs::Scalar { .. }, Abs::Scalar { .. }) => scalar_binop(operation, lhs, rhs, is64),
             (_, Abs::Uninit, _) | (_, _, Abs::Uninit) => {
-                return Err(VerifyError::UninitRegister {
-                    pc,
-                    reg: insn.dst,
-                });
+                return Err(VerifyError::UninitRegister { pc, reg: insn.dst });
             }
         };
         st.regs[insn.dst as usize] = result;
@@ -821,12 +826,18 @@ impl<'a> Ai<'a> {
             Abs::CtxPtr { omin, omax } => {
                 // Lowest possible address must not precede the buffer.
                 if (omin as i64) + (off as i64) < 0 {
-                    return Err(VerifyError::OutOfBounds { pc, what: "ctx access" });
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        what: "ctx access",
+                    });
                 }
                 // Highest possible end must fit the declared window.
                 let hi = omax as i64 + off as i64;
                 if hi < 0 || hi as u64 + width > self.program.ctx_min_len {
-                    return Err(VerifyError::OutOfBounds { pc, what: "ctx access" });
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        what: "ctx access",
+                    });
                 }
                 Ok(())
             }
@@ -834,15 +845,16 @@ impl<'a> Ai<'a> {
                 let lo = omin + off as i64;
                 let hi = omax + off as i64;
                 if lo < -(STACK_SIZE as i64) || hi + width as i64 > 0 {
-                    return Err(VerifyError::OutOfBounds { pc, what: "stack access" });
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        what: "stack access",
+                    });
                 }
                 if !_is_store && omin == omax {
                     // Exact slot: require initialization.
                     for b in 0..width as i64 {
                         let idx = STACK_SIZE as i64 + lo + b;
-                        if !(0..STACK_SIZE as i64).contains(&idx)
-                            || !st.stack_init[idx as usize]
-                        {
+                        if !(0..STACK_SIZE as i64).contains(&idx) || !st.stack_init[idx as usize] {
                             return Err(VerifyError::UninitStack { pc });
                         }
                     }
@@ -850,8 +862,8 @@ impl<'a> Ai<'a> {
                     // Imprecise stack reads require the whole window
                     // initialized; reject conservatively.
                     let from = (STACK_SIZE as i64 + lo).max(0) as usize;
-                    let to = ((STACK_SIZE as i64 + hi + width as i64).min(STACK_SIZE as i64))
-                        as usize;
+                    let to =
+                        ((STACK_SIZE as i64 + hi + width as i64).min(STACK_SIZE as i64)) as usize;
                     if !(from..to).all(|i| st.stack_init[i]) {
                         return Err(VerifyError::UninitStack { pc });
                     }
@@ -881,8 +893,12 @@ impl<'a> Ai<'a> {
             helper::CHECKSUM => {
                 // r1: pointer, r2: length such that ptr+len stays in
                 // bounds for the worst case.
-                let ptr = self.read(pc, st, 1).map_err(|_| VerifyError::BadHelperArg { pc, arg: 1 })?;
-                let len = self.read(pc, st, 2).map_err(|_| VerifyError::BadHelperArg { pc, arg: 2 })?;
+                let ptr = self
+                    .read(pc, st, 1)
+                    .map_err(|_| VerifyError::BadHelperArg { pc, arg: 1 })?;
+                let len = self
+                    .read(pc, st, 2)
+                    .map_err(|_| VerifyError::BadHelperArg { pc, arg: 2 })?;
                 let len_max = match len {
                     Abs::Scalar { umax, .. } => umax,
                     _ => return Err(VerifyError::BadHelperArg { pc, arg: 2 }),
@@ -988,7 +1004,11 @@ fn scalar_binop(operation: u8, lhs: Abs, rhs: Abs, is64: bool) -> Abs {
             let bits = 64 - a1.max(b1).leading_zeros();
             Abs::Scalar {
                 umin: 0,
-                umax: if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 },
+                umax: if bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                },
             }
         }
         op::LSH => {
@@ -1294,20 +1314,12 @@ mod tests {
     #[test]
     fn helper_length_bound_checked() {
         // checksum(ctx, 65) over a 64-byte window.
-        let insns = vec![
-            mov64_imm(2, 65),
-            call(crate::vm::helper::CHECKSUM),
-            exit(),
-        ];
+        let insns = vec![mov64_imm(2, 65), call(crate::vm::helper::CHECKSUM), exit()];
         assert!(matches!(
             bad(insns, 64),
             VerifyError::BadHelperArg { arg: 2, .. }
         ));
-        let insns = vec![
-            mov64_imm(2, 64),
-            call(crate::vm::helper::CHECKSUM),
-            exit(),
-        ];
+        let insns = vec![mov64_imm(2, 64), call(crate::vm::helper::CHECKSUM), exit()];
         ok(insns, 64);
     }
 
@@ -1343,12 +1355,12 @@ mod tests {
     fn max_insns_is_longest_path() {
         // Branch with a long and short arm.
         let insns = vec![
-            mov64_imm(0, 0),            // 0
-            jmp_imm(op::JEQ, 0, 0, 3),  // 1 -> 5
-            alu64_imm(op::ADD, 0, 1),   // 2
-            alu64_imm(op::ADD, 0, 1),   // 3
-            ja(0),                      // 4 -> 5
-            exit(),                     // 5
+            mov64_imm(0, 0),           // 0
+            jmp_imm(op::JEQ, 0, 0, 3), // 1 -> 5
+            alu64_imm(op::ADD, 0, 1),  // 2
+            alu64_imm(op::ADD, 0, 1),  // 3
+            ja(0),                     // 4 -> 5
+            exit(),                    // 5
         ];
         let v = ok(insns, 0);
         // Longest: 0,1,2,3,4,5 = 6.

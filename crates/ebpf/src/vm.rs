@@ -247,15 +247,13 @@ impl Vm {
                     }
                     pc = next as usize;
                 }
-                class::LD
-                    if insn.is_lddw() => {
-                        let hi = insns.get(pc + 1).ok_or(VmError::BadJump { pc })?;
-                        let value =
-                            (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
-                        self.write_reg(pc, insn.dst, value, &mut regs)?;
-                        retired += 1; // second slot
-                        pc += 2;
-                    }
+                class::LD if insn.is_lddw() => {
+                    let hi = insns.get(pc + 1).ok_or(VmError::BadJump { pc })?;
+                    let value = (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
+                    self.write_reg(pc, insn.dst, value, &mut regs)?;
+                    retired += 1; // second slot
+                    pc += 2;
+                }
                 class::LDX => {
                     if insn.op & 0xe0 != crate::insn::mode::MEM {
                         return Err(VmError::IllegalOpcode { pc, op: insn.op });
@@ -346,7 +344,13 @@ impl Vm {
         Ok(())
     }
 
-    fn write_reg(&self, pc: usize, reg: u8, value: u64, regs: &mut [u64; NUM_REGS]) -> Result<(), VmError> {
+    fn write_reg(
+        &self,
+        pc: usize,
+        reg: u8,
+        value: u64,
+        regs: &mut [u64; NUM_REGS],
+    ) -> Result<(), VmError> {
         if reg == FP {
             return Err(VmError::FpWrite { pc });
         }
@@ -901,10 +905,7 @@ mod jmp32_end_tests {
             ],
             0,
         );
-        assert!(matches!(
-            verify(&p),
-            Err(VerifyError::IllegalOpcode { .. })
-        ));
+        assert!(matches!(verify(&p), Err(VerifyError::IllegalOpcode { .. })));
     }
 
     #[test]
@@ -943,8 +944,8 @@ mod atomic_tests {
     use crate::asm::assemble;
     use crate::insn::{self, atomic, size, FP};
     use crate::program::Program;
-    use crate::vm::{Vm, VmError};
     use crate::verify;
+    use crate::vm::{Vm, VmError};
 
     fn run_src(src: &str) -> u64 {
         let p = assemble("t", src, 0).unwrap();
@@ -1156,7 +1157,7 @@ mod atomic_tests {
         assert!(text.contains("axchg32 [r10-8], r4"), "{text}");
         let source: String = text
             .lines()
-            .map(|l| l.splitn(2, ": ").nth(1).unwrap_or(l))
+            .map(|l| l.split_once(": ").map_or(l, |(_, rest)| rest))
             .collect::<Vec<_>>()
             .join("\n");
         let p2 = assemble("t2", &source, 0).unwrap();

@@ -54,15 +54,13 @@ fn step_strategy() -> impl Strategy<Value = Vec<Insn>> {
         }),
         // A forward branch over one instruction.
         (0u8..6, any::<i32>()).prop_map(|(d, k)| {
-            vec![insn::jmp_imm(op::JGT, d, k, 1), insn::alu64_imm(op::ADD, 0, 1)]
-        }),
-        // A helper call with scalar args.
-        (0u8..3).prop_map(|_| {
             vec![
-                insn::mov64_imm(1, 0),
-                insn::call(helper::TRACE),
+                insn::jmp_imm(op::JGT, d, k, 1),
+                insn::alu64_imm(op::ADD, 0, 1),
             ]
         }),
+        // A helper call with scalar args.
+        (0u8..3).prop_map(|_| { vec![insn::mov64_imm(1, 0), insn::call(helper::TRACE),] }),
     ]
 }
 

@@ -61,12 +61,10 @@ fn insn_strategy() -> impl Strategy<Value = Vec<Insn>> {
             vec![insn::stx(sizes[w], FP, s, off)]
         }),
         (-32i16..0, any::<i32>()).prop_map(|(off, imm)| vec![insn::st_imm(size::W, FP, off, imm)]),
-        (0u8..10, any::<i32>(), 1i16..4).prop_map(|(d, imm, off)| {
-            vec![insn::jmp_imm(op::JNE, d, imm, off)]
-        }),
-        (0u8..10, 0u8..10, 1i16..4).prop_map(|(d, s, off)| {
-            vec![insn::jmp32_reg(op::JGE, d, s, off)]
-        }),
+        (0u8..10, any::<i32>(), 1i16..4)
+            .prop_map(|(d, imm, off)| { vec![insn::jmp_imm(op::JNE, d, imm, off)] }),
+        (0u8..10, 0u8..10, 1i16..4)
+            .prop_map(|(d, s, off)| { vec![insn::jmp32_reg(op::JGE, d, s, off)] }),
         (0u8..10, 0usize..3).prop_map(|(d, w)| {
             let bits = [16, 32, 64];
             vec![insn::to_be(d, bits[w])]

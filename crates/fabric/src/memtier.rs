@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn defaults_are_ordered_fast_to_slow() {
-        let tiers: Vec<MemoryTier> = Tier::ALL.iter().map(|&t| MemoryTier::with_defaults(t)).collect();
+        let tiers: Vec<MemoryTier> = Tier::ALL
+            .iter()
+            .map(|&t| MemoryTier::with_defaults(t))
+            .collect();
         for w in tiers.windows(2) {
             assert!(w[0].latency() <= w[1].latency());
         }

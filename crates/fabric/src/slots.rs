@@ -55,7 +55,10 @@ impl fmt::Display for SlotError {
         match self {
             SlotError::NoSuchSlot(i) => write!(f, "no such slot: {i}"),
             SlotError::DoesNotFit { slot, occupancy } => {
-                write!(f, "kernel does not fit slot {slot} (occupancy {occupancy:.2})")
+                write!(
+                    f,
+                    "kernel does not fit slot {slot} (occupancy {occupancy:.2})"
+                )
             }
             SlotError::Unauthorized => write!(f, "bitstream failed authorization"),
             SlotError::Occupied(i) => write!(f, "slot {i} is occupied"),
@@ -115,6 +118,12 @@ impl SlotManager {
         self.slots.len()
     }
 
+    /// Number of slots currently holding a resident kernel (the occupancy
+    /// figure the telemetry gauges report).
+    pub fn occupied_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
     /// Returns the resident kernel of a slot, if any.
     pub fn resident(&self, slot: SlotId) -> Option<&Resident> {
         self.slots.get(slot.0).and_then(|s| s.as_ref())
@@ -127,10 +136,7 @@ impl SlotManager {
 
     /// Finds the lowest-numbered free slot.
     pub fn free_slot(&self) -> Option<SlotId> {
-        self.slots
-            .iter()
-            .position(|s| s.is_none())
-            .map(SlotId)
+        self.slots.iter().position(|s| s.is_none()).map(SlotId)
     }
 
     /// Streams `bitstream` into `slot` starting at `now`.

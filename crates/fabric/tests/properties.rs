@@ -12,15 +12,20 @@ use proptest::prelude::*;
 const KEY: u64 = 0xFEED;
 
 fn budget_strategy() -> impl Strategy<Value = ResourceBudget> {
-    (0u64..300_000, 0u64..600_000, 0u64..500, 0u64..200, 0u64..2_000).prop_map(
-        |(luts, ffs, brams, urams, dsps)| ResourceBudget {
+    (
+        0u64..300_000,
+        0u64..600_000,
+        0u64..500,
+        0u64..200,
+        0u64..2_000,
+    )
+        .prop_map(|(luts, ffs, brams, urams, dsps)| ResourceBudget {
             luts,
             ffs,
             brams,
             urams,
             dsps,
-        },
-    )
+        })
 }
 
 proptest! {

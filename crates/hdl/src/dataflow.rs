@@ -247,7 +247,11 @@ pub fn schedule_with_lanes(program: &VerifiedProgram, lanes: u64) -> Schedule {
             || (n.insn.class() == class::STX
                 && n.insn.op & 0xe0 == hyperion_ebpf::insn::mode::ATOMIC)
     });
-    let ii = if has_map_update { Unit::Map.latency() } else { 1 };
+    let ii = if has_map_update {
+        Unit::Map.latency()
+    } else {
+        1
+    };
 
     Schedule {
         nodes,
@@ -382,8 +386,16 @@ mod tests {
         ",
             0,
         );
-        let at0 = s.nodes.iter().filter(|n| n.stage == 0 && n.unit == Unit::Alu).count();
-        let at1 = s.nodes.iter().filter(|n| n.stage == 1 && n.unit == Unit::Alu).count();
+        let at0 = s
+            .nodes
+            .iter()
+            .filter(|n| n.stage == 0 && n.unit == Unit::Alu)
+            .count();
+        let at1 = s
+            .nodes
+            .iter()
+            .filter(|n| n.stage == 1 && n.unit == Unit::Alu)
+            .count();
         assert_eq!(at0, 4);
         assert_eq!(at1, 2);
     }
@@ -439,7 +451,11 @@ mod tests {
         ",
             0,
         );
-        let store = s.nodes.iter().find(|n| n.insn.class() == class::STX).unwrap();
+        let store = s
+            .nodes
+            .iter()
+            .find(|n| n.insn.class() == class::STX)
+            .unwrap();
         let load = s
             .nodes
             .iter()
@@ -468,12 +484,7 @@ mod atomic_tests {
         // The atomic node lands on the Map (BRAM RMW) unit.
         assert!(s.nodes.iter().any(|n| n.unit == Unit::Map));
 
-        let stateless = assemble(
-            "st",
-            "mov r3, 0\nstxdw [r10-8], r3\nmov r0, 0\nexit",
-            0,
-        )
-        .unwrap();
+        let stateless = assemble("st", "mov r3, 0\nstxdw [r10-8], r3\nmov r0, 0\nexit", 0).unwrap();
         let v = verify(&stateless).unwrap();
         assert_eq!(schedule(&v).ii, 1);
     }

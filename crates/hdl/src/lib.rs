@@ -48,10 +48,7 @@ impl std::error::Error for CompileError {}
 
 /// Compiles a verified program into a hardware pipeline clocked at
 /// `clock`.
-pub fn compile(
-    program: &VerifiedProgram,
-    clock: ClockDomain,
-) -> Result<HwPipeline, CompileError> {
+pub fn compile(program: &VerifiedProgram, clock: ClockDomain) -> Result<HwPipeline, CompileError> {
     if program.program().is_empty() {
         return Err(CompileError::Empty);
     }

@@ -21,15 +21,69 @@ use crate::dataflow::{Schedule, Unit};
 /// figures from UltraScale+ synthesis reports).
 fn unit_cost(unit: Unit) -> ResourceBudget {
     match unit {
-        Unit::Alu => ResourceBudget { luts: 80, ffs: 130, brams: 0, urams: 0, dsps: 0 },
-        Unit::Shift => ResourceBudget { luts: 200, ffs: 130, brams: 0, urams: 0, dsps: 0 },
-        Unit::Mul => ResourceBudget { luts: 60, ffs: 200, brams: 0, urams: 0, dsps: 4 },
-        Unit::Div => ResourceBudget { luts: 1_200, ffs: 900, brams: 0, urams: 0, dsps: 0 },
-        Unit::Mem => ResourceBudget { luts: 150, ffs: 200, brams: 1, urams: 0, dsps: 0 },
-        Unit::Map => ResourceBudget { luts: 400, ffs: 500, brams: 8, urams: 0, dsps: 0 },
-        Unit::Helper => ResourceBudget { luts: 600, ffs: 700, brams: 2, urams: 0, dsps: 0 },
-        Unit::Branch => ResourceBudget { luts: 60, ffs: 70, brams: 0, urams: 0, dsps: 0 },
-        Unit::Const => ResourceBudget { luts: 0, ffs: 64, brams: 0, urams: 0, dsps: 0 },
+        Unit::Alu => ResourceBudget {
+            luts: 80,
+            ffs: 130,
+            brams: 0,
+            urams: 0,
+            dsps: 0,
+        },
+        Unit::Shift => ResourceBudget {
+            luts: 200,
+            ffs: 130,
+            brams: 0,
+            urams: 0,
+            dsps: 0,
+        },
+        Unit::Mul => ResourceBudget {
+            luts: 60,
+            ffs: 200,
+            brams: 0,
+            urams: 0,
+            dsps: 4,
+        },
+        Unit::Div => ResourceBudget {
+            luts: 1_200,
+            ffs: 900,
+            brams: 0,
+            urams: 0,
+            dsps: 0,
+        },
+        Unit::Mem => ResourceBudget {
+            luts: 150,
+            ffs: 200,
+            brams: 1,
+            urams: 0,
+            dsps: 0,
+        },
+        Unit::Map => ResourceBudget {
+            luts: 400,
+            ffs: 500,
+            brams: 8,
+            urams: 0,
+            dsps: 0,
+        },
+        Unit::Helper => ResourceBudget {
+            luts: 600,
+            ffs: 700,
+            brams: 2,
+            urams: 0,
+            dsps: 0,
+        },
+        Unit::Branch => ResourceBudget {
+            luts: 60,
+            ffs: 70,
+            brams: 0,
+            urams: 0,
+            dsps: 0,
+        },
+        Unit::Const => ResourceBudget {
+            luts: 0,
+            ffs: 64,
+            brams: 0,
+            urams: 0,
+            dsps: 0,
+        },
     }
 }
 

@@ -114,7 +114,11 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::OutOfSpace => write!(f, "out of space"),
             StoreError::DurabilityViolation(id) => {
-                write!(f, "segment {:#x} is durable; volatile placement refused", id.0)
+                write!(
+                    f,
+                    "segment {:#x} is durable; volatile placement refused",
+                    id.0
+                )
             }
             StoreError::CorruptTable => write!(f, "persisted segment table is corrupt"),
             StoreError::Device(e) => write!(f, "device error: {e}"),
@@ -223,7 +227,9 @@ impl SingleLevelStore {
         }
         let durable = matches!(hint, AllocHint::Durable);
         let order: &[Location] = match hint {
-            AllocHint::Performance => &[Location::Hbm, Location::Dram, Location::Nvme { device: 0 }],
+            AllocHint::Performance => {
+                &[Location::Hbm, Location::Dram, Location::Nvme { device: 0 }]
+            }
             AllocHint::Balanced => &[Location::Dram, Location::Hbm, Location::Nvme { device: 0 }],
             AllocHint::Capacity | AllocHint::Durable => &[Location::Nvme { device: 0 }],
         };
@@ -254,13 +260,7 @@ impl SingleLevelStore {
                         if cursor + lbas <= self.devices[d].capacity_lbas() {
                             self.nvme_cursors[d] += lbas;
                             self.next_device = (d + 1) % self.devices.len();
-                            self.insert(
-                                id,
-                                Location::Nvme { device: d },
-                                cursor,
-                                len,
-                                durable,
-                            );
+                            self.insert(id, Location::Nvme { device: d }, cursor, len, durable);
                             return Ok(now + SEG_LOOKUP);
                         }
                     }
@@ -270,7 +270,14 @@ impl SingleLevelStore {
         Err(StoreError::OutOfSpace)
     }
 
-    fn insert(&mut self, id: SegmentId, location: Location, bus_addr: u64, len: u64, durable: bool) {
+    fn insert(
+        &mut self,
+        id: SegmentId,
+        location: Location,
+        bus_addr: u64,
+        len: u64,
+        durable: bool,
+    ) {
         self.table.insert(
             id,
             SegmentEntry {
@@ -548,13 +555,10 @@ impl SingleLevelStore {
             let _loc_tag = body[cursor];
             let dev = body[cursor + 1] as usize;
             cursor += 2;
-            let bus_addr = u64::from_le_bytes(
-                body[cursor..cursor + 8].try_into().expect("slice of 8"),
-            );
+            let bus_addr =
+                u64::from_le_bytes(body[cursor..cursor + 8].try_into().expect("slice of 8"));
             cursor += 8;
-            let len = u64::from_le_bytes(
-                body[cursor..cursor + 8].try_into().expect("slice of 8"),
-            );
+            let len = u64::from_le_bytes(body[cursor..cursor + 8].try_into().expect("slice of 8"));
             cursor += 8;
             let durable = body[cursor] != 0;
             cursor += 1;
@@ -665,7 +669,8 @@ mod tests {
     #[test]
     fn duplicate_ids_rejected() {
         let mut s = store();
-        s.create(SegmentId(7), 64, AllocHint::Balanced, Ns::ZERO).unwrap();
+        s.create(SegmentId(7), 64, AllocHint::Balanced, Ns::ZERO)
+            .unwrap();
         assert!(matches!(
             s.create(SegmentId(7), 64, AllocHint::Balanced, Ns::ZERO),
             Err(StoreError::Exists(_))
@@ -675,7 +680,8 @@ mod tests {
     #[test]
     fn out_of_bounds_access_rejected() {
         let mut s = store();
-        s.create(SegmentId(1), 100, AllocHint::Balanced, Ns::ZERO).unwrap();
+        s.create(SegmentId(1), 100, AllocHint::Balanced, Ns::ZERO)
+            .unwrap();
         assert!(matches!(
             s.write(SegmentId(1), 90, &[0u8; 20], Ns::ZERO),
             Err(StoreError::OutOfBounds { .. })
@@ -689,8 +695,10 @@ mod tests {
     #[test]
     fn nvme_reads_cost_flash_latency_and_dram_reads_do_not() {
         let mut s = store();
-        s.create(SegmentId(1), 4096, AllocHint::Balanced, Ns::ZERO).unwrap();
-        s.create(SegmentId(2), 4096, AllocHint::Capacity, Ns::ZERO).unwrap();
+        s.create(SegmentId(1), 4096, AllocHint::Balanced, Ns::ZERO)
+            .unwrap();
+        s.create(SegmentId(2), 4096, AllocHint::Capacity, Ns::ZERO)
+            .unwrap();
         let (_, t_dram) = s.read(SegmentId(1), 0, 4096, Ns::ZERO).unwrap();
         let (_, t_nvme) = s.read(SegmentId(2), 0, 4096, Ns::ZERO).unwrap();
         assert!(t_dram < Ns(5_000), "dram read {t_dram}");
@@ -700,8 +708,10 @@ mod tests {
     #[test]
     fn promotion_moves_data_between_tiers() {
         let mut s = store();
-        s.create(SegmentId(9), 4096, AllocHint::Capacity, Ns::ZERO).unwrap();
-        s.write(SegmentId(9), 0, b"persistent-bytes", Ns::ZERO).unwrap();
+        s.create(SegmentId(9), 4096, AllocHint::Capacity, Ns::ZERO)
+            .unwrap();
+        s.write(SegmentId(9), 0, b"persistent-bytes", Ns::ZERO)
+            .unwrap();
         let t_promoted = s.promote(SegmentId(9), Location::Hbm, Ns::ZERO).unwrap();
         assert_eq!(s.entry(SegmentId(9)).unwrap().location, Location::Hbm);
         let (back, t) = s.read(SegmentId(9), 0, 16, t_promoted).unwrap();
@@ -716,7 +726,8 @@ mod tests {
     #[test]
     fn durable_segments_refuse_volatile_promotion() {
         let mut s = store();
-        s.create(SegmentId(4), 4096, AllocHint::Durable, Ns::ZERO).unwrap();
+        s.create(SegmentId(4), 4096, AllocHint::Durable, Ns::ZERO)
+            .unwrap();
         assert!(matches!(
             s.promote(SegmentId(4), Location::Dram, Ns::ZERO),
             Err(StoreError::DurabilityViolation(_))
@@ -726,8 +737,10 @@ mod tests {
     #[test]
     fn crash_recovery_preserves_durable_segments_only() {
         let mut s = store();
-        s.create(SegmentId(1), 4096, AllocHint::Balanced, Ns::ZERO).unwrap();
-        s.create(SegmentId(2), 4096, AllocHint::Durable, Ns::ZERO).unwrap();
+        s.create(SegmentId(1), 4096, AllocHint::Balanced, Ns::ZERO)
+            .unwrap();
+        s.create(SegmentId(2), 4096, AllocHint::Durable, Ns::ZERO)
+            .unwrap();
         s.write(SegmentId(2), 0, b"survives", Ns::ZERO).unwrap();
         let t = s.persist_table(Ns::ZERO).unwrap();
         let (mut recovered, _) = s.crash_and_recover(t).unwrap();
@@ -749,11 +762,13 @@ mod tests {
     #[test]
     fn recovered_allocator_does_not_overwrite_old_segments() {
         let mut s = store();
-        s.create(SegmentId(1), 8192, AllocHint::Durable, Ns::ZERO).unwrap();
+        s.create(SegmentId(1), 8192, AllocHint::Durable, Ns::ZERO)
+            .unwrap();
         s.write(SegmentId(1), 0, b"old-data", Ns::ZERO).unwrap();
         let t = s.persist_table(Ns::ZERO).unwrap();
         let (mut r, _) = s.crash_and_recover(t).unwrap();
-        r.create(SegmentId(2), 8192, AllocHint::Durable, Ns::ZERO).unwrap();
+        r.create(SegmentId(2), 8192, AllocHint::Durable, Ns::ZERO)
+            .unwrap();
         r.write(SegmentId(2), 0, b"new-data", Ns::ZERO).unwrap();
         let (old, _) = r.read(SegmentId(1), 0, 8, Ns::ZERO).unwrap();
         assert_eq!(old.as_ref(), b"old-data");
@@ -762,9 +777,7 @@ mod tests {
     #[test]
     fn capacity_is_sum_of_tiers() {
         let s = store();
-        let expect = s.dram.capacity()
-            + s.hbm.capacity()
-            + 2 * (1u64 << 22) * LBA_SIZE;
+        let expect = s.dram.capacity() + s.hbm.capacity() + 2 * (1u64 << 22) * LBA_SIZE;
         assert_eq!(s.total_capacity(), expect);
     }
 }

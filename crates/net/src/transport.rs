@@ -7,6 +7,7 @@
 //! that move the pointer-chasing and middleware experiments.
 
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::frame::packets_for_message;
 use crate::netsim::{NetError, Network, NodeId};
@@ -94,6 +95,26 @@ impl TransportKind {
             TransportKind::Tcp => "tcp",
             TransportKind::Rdma => "rdma",
             TransportKind::Homa => "homa",
+        }
+    }
+
+    /// Telemetry span label for a one-way send over this transport.
+    pub fn send_label(self) -> &'static str {
+        match self {
+            TransportKind::Udp => "udp:send",
+            TransportKind::Tcp => "tcp:send",
+            TransportKind::Rdma => "rdma:send",
+            TransportKind::Homa => "homa:send",
+        }
+    }
+
+    /// Telemetry span label for a request/response exchange.
+    pub fn request_label(self) -> &'static str {
+        match self {
+            TransportKind::Udp => "udp:request",
+            TransportKind::Tcp => "tcp:request",
+            TransportKind::Rdma => "rdma:request",
+            TransportKind::Homa => "homa:request",
         }
     }
 }
@@ -222,6 +243,65 @@ impl Transport {
             wire_rounds: 1 + req.wire_rounds + resp.wire_rounds,
         })
     }
+
+    /// [`Transport::send`] with a telemetry span covering the delivery
+    /// (endpoint processing + wire + extra rounds).
+    pub fn send_traced(
+        &self,
+        net: &mut Network,
+        from: Endpoint,
+        to: Endpoint,
+        now: Ns,
+        bytes: u64,
+        rec: &mut Recorder,
+    ) -> Result<Delivery, NetError> {
+        let span = rec.open(Component::Net, self.kind.send_label(), now);
+        match self.send(net, from, to, now, bytes) {
+            Ok(d) => {
+                rec.close(span, d.done);
+                Ok(d)
+            }
+            Err(e) => {
+                rec.close(span, now);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Transport::request`] with per-leg telemetry: a `*:request` span
+    /// covering the whole exchange, nested `*:send` spans for each leg,
+    /// and the server residency recorded as a [`Component::Service`] hop.
+    #[allow(clippy::too_many_arguments)]
+    pub fn request_traced(
+        &self,
+        net: &mut Network,
+        client: Endpoint,
+        server: Endpoint,
+        now: Ns,
+        req_bytes: u64,
+        resp_bytes: u64,
+        server_work: Ns,
+        rec: &mut Recorder,
+    ) -> Result<Delivery, NetError> {
+        let span = rec.open(Component::Net, self.kind.request_label(), now);
+        let result = (|| {
+            let req = self.send_traced(net, client, server, now, req_bytes, rec)?;
+            let served = req.done + server_work;
+            if server_work > Ns::ZERO {
+                rec.record_hop(Component::Service, "server:work", req.done, served);
+            }
+            let resp = self.send_traced(net, server, client, served, resp_bytes, rec)?;
+            Ok(Delivery {
+                done: resp.done,
+                wire_rounds: 1 + req.wire_rounds + resp.wire_rounds,
+            })
+        })();
+        match &result {
+            Ok(d) => rec.close(span, d.done),
+            Err(_) => rec.close(span, now),
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +383,11 @@ mod tests {
         let sw = Transport::new(TransportKind::Udp)
             .request(&mut net2, a2, b2, Ns::ZERO, 64, 64, Ns::ZERO)
             .unwrap();
-        assert!(sw.done > hw.done + Ns(8_000), "hw {} sw {}", hw.done, sw.done);
+        assert!(
+            sw.done > hw.done + Ns(8_000),
+            "hw {} sw {}",
+            hw.done,
+            sw.done
+        );
     }
 }

@@ -17,6 +17,7 @@ use bytes::Bytes;
 use hyperion_sim::energy::{EnergyMeter, Pj};
 use hyperion_sim::stats::Counters;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::flash::{FlashArray, FlashOp};
 use crate::params;
@@ -80,6 +81,22 @@ pub enum Command {
         /// Key bytes.
         key: Vec<u8>,
     },
+}
+
+impl Command {
+    /// Telemetry span label for this command.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Command::Read { .. } => "nvme:read",
+            Command::Write { .. } => "nvme:write",
+            Command::Flush => "nvme:flush",
+            Command::ZoneAppend { .. } => "nvme:zone_append",
+            Command::ZoneReset { .. } => "nvme:zone_reset",
+            Command::KvGet { .. } => "nvme:kv_get",
+            Command::KvPut { .. } => "nvme:kv_put",
+            Command::KvDelete { .. } => "nvme:kv_delete",
+        }
+    }
 }
 
 /// The data portion of a completed command.
@@ -171,6 +188,9 @@ pub struct NvmeDevice {
     /// `reads`/`writes`/`appends`/... structural counters.
     pub counters: Counters,
     kv_page_cursor: u64,
+    /// Completion instants of commands still in flight (the submission
+    /// queue's occupancy model; pruned lazily on each submit).
+    outstanding: Vec<Ns>,
 }
 
 impl NvmeDevice {
@@ -208,6 +228,7 @@ impl NvmeDevice {
             energy: EnergyMeter::new(params::SSD_IDLE_POWER),
             counters: Counters::new(),
             kv_page_cursor: 0,
+            outstanding: Vec::new(),
         }
     }
 
@@ -248,7 +269,7 @@ impl NvmeDevice {
             done = done.max(self.flash.access(FlashOp::Read, p, now));
         }
         self.energy.charge(Pj(
-            (blocks * params::LBA_SIZE) as u128 * params::READ_PJ_PER_BYTE as u128,
+            (blocks * params::LBA_SIZE) as u128 * params::READ_PJ_PER_BYTE as u128
         ));
         done
     }
@@ -261,9 +282,16 @@ impl NvmeDevice {
             done = done.max(self.flash.access(FlashOp::Program, p, now));
         }
         self.energy.charge(Pj(
-            (blocks * params::LBA_SIZE) as u128 * params::PROGRAM_PJ_PER_BYTE as u128,
+            (blocks * params::LBA_SIZE) as u128 * params::PROGRAM_PJ_PER_BYTE as u128
         ));
         done
+    }
+
+    /// Number of commands submitted before `now` whose completions have
+    /// not yet posted at `now` — the device's queue depth as a client
+    /// submitting at `now` would observe it.
+    pub fn queue_depth_at(&self, now: Ns) -> usize {
+        self.outstanding.iter().filter(|&&d| d > now).count()
     }
 
     /// Executes a command arriving at the controller at `now`.
@@ -272,6 +300,35 @@ impl NvmeDevice {
     /// are applied synchronously (the simulated completion instant tells
     /// callers when they become visible).
     pub fn submit(&mut self, cmd: Command, now: Ns) -> Result<Completion, NvmeError> {
+        self.outstanding.retain(|&d| d > now);
+        let completion = self.execute(cmd, now)?;
+        self.outstanding.push(completion.done);
+        Ok(completion)
+    }
+
+    /// [`NvmeDevice::submit`] with a telemetry span over the command and a
+    /// queue-depth gauge sampled at submission.
+    pub fn submit_traced(
+        &mut self,
+        cmd: Command,
+        now: Ns,
+        rec: &mut Recorder,
+    ) -> Result<Completion, NvmeError> {
+        rec.gauge("nvme:queue_depth", self.queue_depth_at(now) as u64);
+        let span = rec.open(Component::Nvme, cmd.label(), now);
+        match self.submit(cmd, now) {
+            Ok(c) => {
+                rec.close(span, c.done);
+                Ok(c)
+            }
+            Err(e) => {
+                rec.close(span, now);
+                Err(e)
+            }
+        }
+    }
+
+    fn execute(&mut self, cmd: Command, now: Ns) -> Result<Completion, NvmeError> {
         let start = now + params::CONTROLLER_OVERHEAD;
         match cmd {
             Command::Read { lba, blocks } => {
@@ -363,7 +420,8 @@ impl NvmeDevice {
                     done = done.max(self.flash.access(FlashOp::Erase, page, start));
                 }
                 let base = zone * params::ZONE_LBAS;
-                self.blocks.retain(|&lba, _| lba < base || lba >= base + params::ZONE_LBAS);
+                self.blocks
+                    .retain(|&lba, _| lba < base || lba >= base + params::ZONE_LBAS);
                 Ok(Completion {
                     response: Response::Ok,
                     done,
@@ -380,9 +438,8 @@ impl NvmeDevice {
                         for p in 0..pages {
                             done = done.max(self.flash.access(FlashOp::Read, cursor + p, start));
                         }
-                        self.energy.charge(Pj(
-                            value.len() as u128 * params::READ_PJ_PER_BYTE as u128
-                        ));
+                        self.energy
+                            .charge(Pj(value.len() as u128 * params::READ_PJ_PER_BYTE as u128));
                         Ok(Completion {
                             response: Response::Data(value),
                             done,
@@ -417,7 +474,11 @@ impl NvmeDevice {
                 self.counters.bump("kv_deletes");
                 let found = self.kv.remove(&key).is_some();
                 Ok(Completion {
-                    response: if found { Response::Ok } else { Response::NotFound },
+                    response: if found {
+                        Response::Ok
+                    } else {
+                        Response::NotFound
+                    },
                     done: start,
                 })
             }
@@ -487,7 +548,13 @@ mod tests {
         )
         .unwrap();
         let c = d
-            .submit(Command::Read { lba: 100, blocks: 2 }, Ns::ZERO)
+            .submit(
+                Command::Read {
+                    lba: 100,
+                    blocks: 2,
+                },
+                Ns::ZERO,
+            )
             .unwrap();
         match c.response {
             Response::Data(data) => {
@@ -517,7 +584,11 @@ mod tests {
             .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
             .unwrap();
         // Controller + tR + bus: ~65-70 us.
-        assert!(c.done > Ns(60_000) && c.done < Ns(90_000), "read took {}", c.done);
+        assert!(
+            c.done > Ns(60_000) && c.done < Ns(90_000),
+            "read took {}",
+            c.done
+        );
     }
 
     #[test]
@@ -688,10 +759,7 @@ mod tests {
     fn namespace_kinds_reject_foreign_commands() {
         let mut d = NvmeDevice::new_block(1 << 20);
         assert!(matches!(
-            d.submit(
-                Command::KvGet { key: vec![1] },
-                Ns::ZERO
-            ),
+            d.submit(Command::KvGet { key: vec![1] }, Ns::ZERO),
             Err(NvmeError::WrongNamespace { .. })
         ));
         let mut z = NvmeDevice::new_zoned(params::ZONE_LBAS);

@@ -44,7 +44,10 @@ impl FlashArray {
     ///
     /// Panics if either count is zero.
     pub fn with_geometry(channels: usize, dies_per_channel: usize) -> FlashArray {
-        assert!(channels > 0 && dies_per_channel > 0, "geometry must be non-empty");
+        assert!(
+            channels > 0 && dies_per_channel > 0,
+            "geometry must be non-empty"
+        );
         FlashArray {
             channels: (0..channels).map(|_| Resource::new("nand-ch", 1)).collect(),
             dies: (0..channels * dies_per_channel)
@@ -123,7 +126,9 @@ mod tests {
     fn striped_pages_proceed_in_parallel() {
         let mut f = FlashArray::new();
         // Pages 0..8 land on 8 distinct channels/dies.
-        let times: Vec<Ns> = (0..8).map(|p| f.access(FlashOp::Read, p, Ns::ZERO)).collect();
+        let times: Vec<Ns> = (0..8)
+            .map(|p| f.access(FlashOp::Read, p, Ns::ZERO))
+            .collect();
         assert!(times.windows(2).all(|w| w[0] == w[1]));
     }
 

@@ -22,6 +22,7 @@
 use hyperion_sim::resource::Resource;
 use hyperion_sim::stats::Counters;
 use hyperion_sim::time::{serialization_delay, Ns};
+use hyperion_telemetry::{Component, Recorder};
 
 /// PCI Express generation, determining per-lane throughput.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,6 +91,22 @@ impl PcieLink {
         let svc = serialization_delay(bytes, self.bandwidth_bps());
         self.wire.access(now, svc) + HOP_LATENCY
     }
+
+    /// Queue wait a transfer issued at `now` would see before its TLPs
+    /// start moving (zero when the link is idle).
+    pub fn queue_wait(&self, now: Ns) -> Ns {
+        self.wire.earliest_start(now).saturating_sub(now)
+    }
+
+    /// [`PcieLink::transfer`] with a telemetry span covering queueing,
+    /// serialization, and the hop latency, plus a link queue-wait gauge.
+    pub fn transfer_traced(&mut self, now: Ns, bytes: u64, rec: &mut Recorder) -> Ns {
+        rec.gauge("pcie:link_queue_wait_ns", self.queue_wait(now).0);
+        let span = rec.open(Component::Pcie, self.wire.name(), now);
+        let done = self.transfer(now, bytes);
+        rec.close(span, done);
+        done
+    }
 }
 
 /// How a device-to-device transfer is routed.
@@ -104,6 +121,17 @@ pub enum DmaRoute {
     /// Classic path: device→host DRAM→device; two DMA transfers, one
     /// bounce buffer copy, CPU coordinates both halves.
     HostBounce,
+}
+
+impl DmaRoute {
+    /// Telemetry span label for a DMA over this route.
+    pub fn label(self) -> &'static str {
+        match self {
+            DmaRoute::FpgaDirect => "dma:direct",
+            DmaRoute::HostP2p => "dma:p2p",
+            DmaRoute::HostBounce => "dma:bounce",
+        }
+    }
 }
 
 /// A root complex with attached links, routing transfers and accounting
@@ -181,6 +209,39 @@ impl RootComplex {
                 dst.transfer(setup2, bytes)
             }
         }
+    }
+
+    /// [`RootComplex::dma`] with telemetry: one [`Component::Pcie`] span
+    /// over the transfer and, for host-mediated routes, the CPU's
+    /// doorbell/coordination time attributed to [`Component::Host`].
+    pub fn dma_traced(
+        &mut self,
+        route: DmaRoute,
+        src: &mut PcieLink,
+        dst: &mut PcieLink,
+        now: Ns,
+        bytes: u64,
+        rec: &mut Recorder,
+    ) -> Ns {
+        let span = rec.open(Component::Pcie, route.label(), now);
+        let done = self.dma(route, src, dst, now, bytes);
+        rec.close(span, done);
+        match route {
+            DmaRoute::FpgaDirect => {}
+            DmaRoute::HostP2p => {
+                rec.record_hop(Component::Host, "dma:doorbell", now, now + HOST_DOORBELL);
+            }
+            DmaRoute::HostBounce => {
+                // Two doorbells plus the staging copy's residency in host
+                // DRAM; the copy interval is bounded below by the pure
+                // serialization time through the bounce buffer.
+                rec.record_hop(Component::Host, "dma:doorbell", now, now + HOST_DOORBELL);
+                rec.record_hop(Component::Host, "dma:doorbell", now, now + HOST_DOORBELL);
+                let copy = serialization_delay(bytes, HOST_DRAM_BPS);
+                rec.record_hop(Component::Host, "dma:dram_copy", now, now + copy);
+            }
+        }
+        done
     }
 }
 

@@ -224,9 +224,10 @@ mod tests {
         e.scheduler().at(Ns(10), 1);
         e.scheduler().at(Ns(20), 2);
         e.scheduler().at(Ns(30), 3);
-        let t = e.run_until(Ns(20), &mut |log: &mut Vec<u32>, ev, _: &mut Scheduler<u32>| {
-            log.push(ev)
-        });
+        let t = e.run_until(
+            Ns(20),
+            &mut |log: &mut Vec<u32>, ev, _: &mut Scheduler<u32>| log.push(ev),
+        );
         assert_eq!(e.state(), &vec![1, 2]);
         assert_eq!(t, Ns(20));
         assert_eq!(e.scheduler().pending(), 1);

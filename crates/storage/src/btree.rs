@@ -201,10 +201,7 @@ impl BTree {
             t = done;
             match node {
                 Node::Leaf { keys, values, .. } => {
-                    let value = keys
-                        .binary_search(&key)
-                        .ok()
-                        .map(|i| values[i]);
+                    let value = keys.binary_search(&key).ok().map(|i| values[i]);
                     return Ok(TracedLookup {
                         value,
                         path,
@@ -279,11 +276,7 @@ impl BTree {
                     }
                 }
                 if keys.len() <= MAX_KEYS {
-                    let t2 = store.write(
-                        lba,
-                        Node::Leaf { keys, values, next }.encode(),
-                        t,
-                    )?;
+                    let t2 = store.write(lba, Node::Leaf { keys, values, next }.encode(), t)?;
                     return Ok((None, t2));
                 }
                 // Split.
@@ -449,10 +442,7 @@ mod tests {
         let (mut s2, t2) = build(8_000);
         let (_, d1) = t1.get(&mut s1, 1, Ns::ZERO).unwrap();
         let (_, d2) = t2.get(&mut s2, 1, Ns::ZERO).unwrap();
-        assert!(
-            d2 > d1,
-            "deeper tree must read more nodes: {d1} vs {d2}"
-        );
+        assert!(d2 > d1, "deeper tree must read more nodes: {d1} vs {d2}");
     }
 
     #[test]

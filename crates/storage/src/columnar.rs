@@ -74,10 +74,7 @@ pub struct ColumnBatch {
 
 impl ColumnBatch {
     /// Creates a batch; all columns must be the same length.
-    pub fn new(
-        names: Vec<String>,
-        columns: Vec<Vec<u64>>,
-    ) -> Result<ColumnBatch, ColumnarError> {
+    pub fn new(names: Vec<String>, columns: Vec<Vec<u64>>) -> Result<ColumnBatch, ColumnarError> {
         if let Some(first) = columns.first() {
             if columns.iter().any(|c| c.len() != first.len()) {
                 return Err(ColumnarError::RaggedBatch);
@@ -317,8 +314,7 @@ pub fn read_footer(
     }
     let footer_len =
         u64::from_le_bytes(tail[pos - 16..pos - 8].try_into().expect("8 bytes")) as usize;
-    let footer_off =
-        u64::from_le_bytes(tail[pos - 8..pos].try_into().expect("8 bytes")) as usize;
+    let footer_off = u64::from_le_bytes(tail[pos - 8..pos].try_into().expect("8 bytes")) as usize;
     // Read only the blocks the footer spans.
     let foot_first_block = footer_off as u64 / BLOCK;
     let foot_last_block = (footer_off + footer_len - 1) as u64 / BLOCK;
@@ -453,16 +449,15 @@ pub fn scan(
     let mut stats = ScanStats::default();
     let mut t = now;
     // All chunk reads issue at `now`; the device resolves contention.
-    let fetch = |store: &mut BlockStore,
-                 chunk: &ChunkMeta|
-     -> Result<(Vec<u64>, Ns), ColumnarError> {
-        let first = meta.first_lba + chunk.offset / BLOCK;
-        let last = meta.first_lba + (chunk.offset + chunk.len.max(1) - 1) / BLOCK;
-        let (raw, done) = store.read(first, (last - first + 1) as u32, now)?;
-        let start = (chunk.offset % BLOCK) as usize;
-        let data = &raw[start..start + chunk.len as usize];
-        Ok((decode_chunk(data, chunk.encoding, chunk.rows)?, done))
-    };
+    let fetch =
+        |store: &mut BlockStore, chunk: &ChunkMeta| -> Result<(Vec<u64>, Ns), ColumnarError> {
+            let first = meta.first_lba + chunk.offset / BLOCK;
+            let last = meta.first_lba + (chunk.offset + chunk.len.max(1) - 1) / BLOCK;
+            let (raw, done) = store.read(first, (last - first + 1) as u32, now)?;
+            let start = (chunk.offset % BLOCK) as usize;
+            let data = &raw[start..start + chunk.len as usize];
+            Ok((decode_chunk(data, chunk.encoding, chunk.rows)?, done))
+        };
     for g in &meta.groups {
         if let (Some(p), Some(pi)) = (predicate, pred_idx) {
             if p.excludes(&g.chunks[pi]) {
@@ -489,15 +484,18 @@ pub fn scan(
             let (values, done) = fetch(store, chunk)?;
             t = t.max(done);
             match &mask {
-                Some(m) => out.extend(values.iter().zip(m.iter()).filter(|(_, &keep)| keep).map(|(v, _)| *v)),
+                Some(m) => out.extend(
+                    values
+                        .iter()
+                        .zip(m.iter())
+                        .filter(|(_, &keep)| keep)
+                        .map(|(v, _)| *v),
+                ),
                 None => out.extend(values),
             }
         }
     }
-    let batch = ColumnBatch::new(
-        projection.iter().map(|s| s.to_string()).collect(),
-        out_cols,
-    )?;
+    let batch = ColumnBatch::new(projection.iter().map(|s| s.to_string()).collect(), out_cols)?;
     Ok((batch, stats, t))
 }
 
@@ -508,7 +506,9 @@ mod tests {
     fn sample_batch(rows: usize) -> ColumnBatch {
         let ids: Vec<u64> = (0..rows as u64).collect();
         let price: Vec<u64> = (0..rows as u64).map(|i| (i * 7) % 1000).collect();
-        let region: Vec<u64> = (0..rows as u64).map(|i| i / (rows as u64 / 4).max(1)).collect();
+        let region: Vec<u64> = (0..rows as u64)
+            .map(|i| i / (rows as u64 / 4).max(1))
+            .collect();
         ColumnBatch::new(
             vec!["id".into(), "price".into(), "region".into()],
             vec![ids, price, region],

@@ -110,7 +110,10 @@ pub fn group_by(
         })
         .collect();
     ColumnBatch::new(
-        vec![key_column.to_string(), format!("{agg:?}({value_column})").to_lowercase()],
+        vec![
+            key_column.to_string(),
+            format!("{agg:?}({value_column})").to_lowercase(),
+        ],
         vec![out_keys, out_values],
     )
 }
@@ -122,10 +125,7 @@ mod tests {
     fn batch() -> ColumnBatch {
         ColumnBatch::new(
             vec!["region".into(), "price".into()],
-            vec![
-                vec![1, 2, 1, 2, 3, 1],
-                vec![10, 20, 30, 40, 50, 60],
-            ],
+            vec![vec![1, 2, 1, 2, 3, 1], vec![10, 20, 30, 40, 50, 60]],
         )
         .unwrap()
     }

@@ -183,7 +183,12 @@ impl LogUnit {
     /// tail discovery during reconfiguration).
     pub fn seal(&mut self, epoch: u64) -> u64 {
         self.epoch = self.epoch.max(epoch);
-        self.written.keys().copied().max().map(|p| p + 1).unwrap_or(0)
+        self.written
+            .keys()
+            .copied()
+            .max()
+            .map(|p| p + 1)
+            .unwrap_or(0)
     }
 
     /// Writes `data` at `position` (write-once).
@@ -236,9 +241,9 @@ impl LogUnit {
                             }
                         }
                         Err(e) => {
-                            return Err(CorfuError::Block(
-                                crate::blockstore::BlockError::Device(e.to_string()),
-                            ))
+                            return Err(CorfuError::Block(crate::blockstore::BlockError::Device(
+                                e.to_string(),
+                            )))
                         }
                     }
                 }
@@ -274,10 +279,7 @@ impl LogUnit {
                     UnitBackend::Block(store) => store.read(lba, 1, now)?,
                     UnitBackend::Zoned { device, .. } => {
                         let c = device
-                            .submit(
-                                hyperion_nvme::device::Command::Read { lba, blocks: 1 },
-                                now,
-                            )
+                            .submit(hyperion_nvme::device::Command::Read { lba, blocks: 1 }, now)
                             .map_err(|e| {
                                 CorfuError::Block(crate::blockstore::BlockError::Device(
                                     e.to_string(),
@@ -333,7 +335,9 @@ impl CorfuLog {
     /// Panics if `n_units` is zero.
     pub fn new(n_units: usize, unit_capacity_lbas: u64) -> CorfuLog {
         Self::build(
-            (0..n_units).map(|_| LogUnit::new(unit_capacity_lbas)).collect(),
+            (0..n_units)
+                .map(|_| LogUnit::new(unit_capacity_lbas))
+                .collect(),
             1,
         )
     }
@@ -360,17 +364,15 @@ impl CorfuLog {
     ///
     /// Panics if `n_units` is zero or `replication` is not in
     /// `1..=n_units`.
-    pub fn new_replicated(
-        n_units: usize,
-        unit_capacity_lbas: u64,
-        replication: usize,
-    ) -> CorfuLog {
+    pub fn new_replicated(n_units: usize, unit_capacity_lbas: u64, replication: usize) -> CorfuLog {
         assert!(
             (1..=n_units).contains(&replication),
             "replication must be in 1..=n_units"
         );
         Self::build(
-            (0..n_units).map(|_| LogUnit::new(unit_capacity_lbas)).collect(),
+            (0..n_units)
+                .map(|_| LogUnit::new(unit_capacity_lbas))
+                .collect(),
             replication,
         )
     }
@@ -505,9 +507,7 @@ impl CorfuLog {
             tail = tail.max(u.seal(epoch));
         }
         self.sequencer.reset_to(tail);
-        let live: Vec<usize> = (0..self.units.len())
-            .filter(|&i| !self.failed[i])
-            .collect();
+        let live: Vec<usize> = (0..self.units.len()).filter(|&i| !self.failed[i]).collect();
         assert!(
             live.len() >= self.replication,
             "not enough live units for replication factor"
@@ -588,7 +588,10 @@ mod tests {
         let token = l.sequencer.next_token();
         assert_eq!(token, 0);
         l.append(b"second", Ns::ZERO).unwrap(); // position 1
-        assert!(matches!(l.read(0, Ns::ZERO), Err(CorfuError::NotWritten(0))));
+        assert!(matches!(
+            l.read(0, Ns::ZERO),
+            Err(CorfuError::NotWritten(0))
+        ));
         l.fill(0, Ns::ZERO).unwrap();
         let (e, _) = l.read(0, Ns::ZERO).unwrap();
         assert_eq!(e, LogEntry::Junk);

@@ -203,7 +203,11 @@ impl FileSystem {
     }
 
     /// Mounts an existing file system by reading the superblock.
-    pub fn mount(store: &mut BlockStore, sb_lba: u64, now: Ns) -> Result<(FileSystem, Ns), FsError> {
+    pub fn mount(
+        store: &mut BlockStore,
+        sb_lba: u64,
+        now: Ns,
+    ) -> Result<(FileSystem, Ns), FsError> {
         let (sb, t) = store.read(sb_lba, 1, now)?;
         let magic = u32::from_le_bytes(sb[0..4].try_into().expect("4 bytes"));
         if magic != SB_MAGIC {
@@ -293,7 +297,11 @@ impl FileSystem {
         let slots = BLOCK as usize / entry_size;
         for s in 0..slots {
             let o = s * entry_size;
-            let existing = u64::from_le_bytes(raw[o + NAME_LEN..o + NAME_LEN + 8].try_into().expect("8 bytes"));
+            let existing = u64::from_le_bytes(
+                raw[o + NAME_LEN..o + NAME_LEN + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
             if existing == 0 {
                 raw[o..o + name.len()].copy_from_slice(name.as_bytes());
                 for b in raw.iter_mut().take(o + NAME_LEN).skip(o + name.len()) {
@@ -488,7 +496,11 @@ fn parse_dir_block(raw: &[u8]) -> Vec<(String, u64)> {
     let mut out = Vec::new();
     for s in 0..raw.len() / entry_size {
         let o = s * entry_size;
-        let ino = u64::from_le_bytes(raw[o + NAME_LEN..o + NAME_LEN + 8].try_into().expect("8 bytes"));
+        let ino = u64::from_le_bytes(
+            raw[o + NAME_LEN..o + NAME_LEN + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
         if ino != 0 {
             let name_bytes = &raw[o..o + NAME_LEN];
             let end = name_bytes.iter().position(|&b| b == 0).unwrap_or(NAME_LEN);
@@ -579,7 +591,9 @@ mod tests {
     fn mount_rejects_garbage() {
         let mut store = BlockStore::with_capacity(64);
         store.alloc(1).unwrap();
-        store.write(0, vec![0xAB; BLOCK as usize], Ns::ZERO).unwrap();
+        store
+            .write(0, vec![0xAB; BLOCK as usize], Ns::ZERO)
+            .unwrap();
         assert!(matches!(
             FileSystem::mount(&mut store, 0, Ns::ZERO),
             Err(FsError::BadSuperblock)
@@ -590,7 +604,8 @@ mod tests {
     fn create_and_read_file() {
         let (mut store, mut f) = fs();
         let data = b"hello hyperion".to_vec();
-        f.create_file(&mut store, "/hello.txt", &data, Ns::ZERO).unwrap();
+        f.create_file(&mut store, "/hello.txt", &data, Ns::ZERO)
+            .unwrap();
         let (back, _) = f.read_file(&mut store, "/hello.txt", Ns::ZERO).unwrap();
         assert_eq!(back, data);
     }

@@ -133,8 +133,7 @@ impl Wal {
             if magic != REC_MAGIC {
                 break; // end of log
             }
-            let total_len =
-                u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+            let total_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
             let blocks = total_len.div_ceil(BLOCK as usize) as u64;
             let full = if blocks > 1 {
                 let (rest, done) = store.read(self.first_lba + rel, blocks as u32, t)?;
@@ -268,12 +267,7 @@ impl TxnEngine {
 
     /// Commits: logs every staged image, logs the commit record (the
     /// durability point), then applies the images in place.
-    pub fn commit(
-        &mut self,
-        store: &mut BlockStore,
-        txn: Txn,
-        now: Ns,
-    ) -> Result<Ns, WalError> {
+    pub fn commit(&mut self, store: &mut BlockStore, txn: Txn, now: Ns) -> Result<Ns, WalError> {
         let t = self.log_data(store, &txn, now)?;
         let t = self.log_commit(store, &txn, t)?;
         self.apply(store, txn, t)
@@ -284,12 +278,7 @@ impl TxnEngine {
     /// Exposed separately (with [`TxnEngine::log_commit`] and
     /// [`TxnEngine::apply`]) so fault-injection tests and replication
     /// layers can crash between phases.
-    pub fn log_data(
-        &mut self,
-        store: &mut BlockStore,
-        txn: &Txn,
-        now: Ns,
-    ) -> Result<Ns, WalError> {
+    pub fn log_data(&mut self, store: &mut BlockStore, txn: &Txn, now: Ns) -> Result<Ns, WalError> {
         let mut t = now;
         for (lba, image) in &txn.writes {
             t = self.wal.append(
@@ -319,12 +308,7 @@ impl TxnEngine {
 
     /// Phase 3 of commit: applies the staged images in place. Safe to
     /// lose to a crash — recovery re-applies from the WAL.
-    pub fn apply(
-        &mut self,
-        store: &mut BlockStore,
-        txn: Txn,
-        now: Ns,
-    ) -> Result<Ns, WalError> {
+    pub fn apply(&mut self, store: &mut BlockStore, txn: Txn, now: Ns) -> Result<Ns, WalError> {
         let mut t = now;
         for (lba, image) in txn.writes {
             t = store.write(lba, image, t)?;
@@ -463,8 +447,7 @@ mod tests {
         .unwrap();
 
         // Crash: recover from the WAL.
-        let (recovered, _) =
-            TxnEngine::recover(wal_lba, 64, &mut store, Ns::ZERO).unwrap();
+        let (recovered, _) = TxnEngine::recover(wal_lba, 64, &mut store, Ns::ZERO).unwrap();
         assert_eq!(recovered, vec![1]);
         let (b, _) = store.read(data0 + 1, 1, Ns::ZERO).unwrap();
         assert!(
@@ -496,12 +479,8 @@ mod tests {
     fn torn_records_are_detected() {
         let mut store = BlockStore::with_capacity(1 << 16);
         let mut wal = Wal::create(&mut store, 8).unwrap();
-        wal.append(
-            &mut store,
-            &WalRecord::Commit { txn: 5 },
-            Ns::ZERO,
-        )
-        .unwrap();
+        wal.append(&mut store, &WalRecord::Commit { txn: 5 }, Ns::ZERO)
+            .unwrap();
         // Corrupt the record body but keep the magic.
         let (mut raw, _) = store.read(wal.first_lba(), 1, Ns::ZERO).unwrap();
         raw[20] ^= 0xFF;

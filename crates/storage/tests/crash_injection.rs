@@ -17,8 +17,7 @@ struct GenTxn {
 
 fn txns_strategy() -> impl Strategy<Value = Vec<GenTxn>> {
     proptest::collection::vec(
-        proptest::collection::vec((0u64..16, 1u8..=255), 1..4)
-            .prop_map(|writes| GenTxn { writes }),
+        proptest::collection::vec((0u64..16, 1u8..=255), 1..4).prop_map(|writes| GenTxn { writes }),
         1..8,
     )
 }

@@ -1,0 +1,198 @@
+//! Deterministic JSON dump of a [`Recorder`].
+//!
+//! Hand-rolled emitter (the workspace builds offline, with no serde):
+//! the output is a pure function of the recorder's state — keys are
+//! sorted, floats are fixed-precision, no timestamps — so two same-seed
+//! runs dump byte-identical telemetry. `hyperion-bench`'s `report`
+//! consumes this with `--json`.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Recorder;
+use crate::span::Component;
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the full telemetry state of `rec` to a JSON string.
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "label": "...",
+///   "hops": [ {"component","name","count","p50_ns","p99_ns","total_ns","energy_pj"} ],
+///   "ops": [ {"op","count","p50_ns","p99_ns","mean_ns","max_ns"} ],
+///   "gauges": [ {"gauge","samples","min","max","mean","last"} ],
+///   "energy_pj": [ {"component","total_pj"} ],
+///   "spans": [ {"id","parent","component","name","start_ns","end_ns"} ]
+/// }
+/// ```
+///
+/// `hops`/`ops`/`gauges` are sorted by key; `spans` keep insertion order
+/// (parents precede children by construction).
+pub fn to_json(rec: &Recorder) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"label\": \"{}\",", escape(rec.label()));
+
+    // Per-hop breakdown, sorted by (component, name).
+    let mut hops = rec.hop_rows();
+    hops.sort_by_key(|r| (r.component, r.name));
+    out.push_str("  \"hops\": [\n");
+    for (i, r) in hops.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"component\": \"{}\", \"name\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"total_ns\": {}, \"energy_pj\": {}}}",
+            r.component.name(),
+            escape(r.name),
+            r.count,
+            r.p50,
+            r.p99,
+            r.total.0,
+            r.energy.0,
+        );
+        out.push_str(if i + 1 < hops.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Per-service-op latency, sorted by op label.
+    let mut ops: Vec<_> = rec.op_histograms().collect();
+    ops.sort_by_key(|(n, _)| *n);
+    out.push_str("  \"ops\": [\n");
+    for (i, (name, h)) in ops.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"op\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}, \"max_ns\": {}}}",
+            escape(name),
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.mean(),
+            h.max(),
+        );
+        out.push_str(if i + 1 < ops.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Gauges, sorted by name.
+    let mut gauges: Vec<_> = rec.gauges().collect();
+    gauges.sort_by_key(|(n, _)| *n);
+    out.push_str("  \"gauges\": [\n");
+    for (i, (name, g)) in gauges.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"gauge\": \"{}\", \"samples\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.2}, \"last\": {}}}",
+            escape(name),
+            g.samples(),
+            g.min(),
+            g.max(),
+            g.mean(),
+            g.last(),
+        );
+        out.push_str(if i + 1 < gauges.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Component energy ledger, in Component::ALL order, zero rows elided.
+    let energy: Vec<_> = Component::ALL
+        .iter()
+        .map(|c| (*c, rec.component_energy(*c)))
+        .filter(|(_, e)| e.0 > 0)
+        .collect();
+    out.push_str("  \"energy_pj\": [\n");
+    for (i, (c, e)) in energy.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"component\": \"{}\", \"total_pj\": {}}}",
+            c.name(),
+            e.0
+        );
+        out.push_str(if i + 1 < energy.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Raw span tree (bounded), insertion order.
+    out.push_str("  \"spans\": [\n");
+    let spans = rec.spans();
+    for (i, s) in spans.iter().enumerate() {
+        let parent = match s.parent {
+            Some(p) => p.0.to_string(),
+            None => "null".to_string(),
+        };
+        let end = match s.end {
+            Some(e) => e.0.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "    {{\"id\": {i}, \"parent\": {parent}, \"component\": \"{}\", \"name\": \"{}\", \"start_ns\": {}, \"end_ns\": {end}}}",
+            s.component.name(),
+            escape(s.name),
+            s.start.0,
+        );
+        out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_sim::time::Ns;
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new("unit");
+        let outer = r.open(Component::Service, "kv.get", Ns(0));
+        let inner = r.open(Component::Nvme, "flash:read", Ns(5));
+        r.close(inner, Ns(105));
+        r.close(outer, Ns(150));
+        r.record_op("kv.get", Ns(150));
+        r.gauge("sq_depth", 2);
+        r
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        assert_eq!(to_json(&sample()), to_json(&sample()));
+    }
+
+    #[test]
+    fn dump_contains_every_section() {
+        let j = to_json(&sample());
+        for key in [
+            "\"label\"",
+            "\"hops\"",
+            "\"ops\"",
+            "\"gauges\"",
+            "\"energy_pj\"",
+            "\"spans\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.contains("\"component\": \"nvme\""));
+        assert!(j.contains("\"parent\": 0"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,36 @@
+//! # hyperion-telemetry — end-to-end attribution on the virtual clock
+//!
+//! The paper's promise is *predictable, interference-free execution* once
+//! a bitstream is placed (§2) and measurable wins over the CPU-mediated
+//! paths of Table 1. Aggregate end-to-end numbers cannot say *which hop*
+//! — network, fabric, PCIe, or flash — a nanosecond or picojoule went to.
+//! This crate is the measurement discipline Dagger and hXDP apply to FPGA
+//! pipelines, reproduced for the simulator:
+//!
+//! * [`span`] — a span tree per request on the virtual clock ([`Ns`]),
+//!   opened/closed by the instrumented layers (`net` transports, `pcie`
+//!   DMA, `nvme` submission, `core` service dispatch);
+//! * [`Recorder`] — the lightweight handle threaded through the request
+//!   path; aggregates per-hop latency [`Histogram`]s, per-service-op
+//!   latency, queue-depth/occupancy gauges, and per-component picojoule
+//!   attribution;
+//! * [`json`] — a deterministic machine-readable dump (same seed →
+//!   byte-identical output) that `hyperion-bench`'s `report` binary turns
+//!   into "where did the nanoseconds go" tables.
+//!
+//! Everything here follows the workspace's simulation contract: no
+//! wall-clock reads, no ambient state, integer virtual time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod power;
+pub mod recorder;
+pub mod span;
+
+pub use recorder::{Gauge, HopRow, Recorder};
+pub use span::{Component, SpanId};
+
+pub use hyperion_sim::stats::Histogram;
+pub use hyperion_sim::time::Ns;

@@ -14,7 +14,12 @@ fn main() {
     // A 200k-row sales table with four columns.
     let rows = 200_000u64;
     let batch = ColumnBatch::new(
-        vec!["order".into(), "price".into(), "qty".into(), "region".into()],
+        vec![
+            "order".into(),
+            "price".into(),
+            "qty".into(),
+            "region".into(),
+        ],
         vec![
             (0..rows).collect(),
             (0..rows).map(|i| (i * 31) % 900).collect(),

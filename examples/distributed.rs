@@ -24,7 +24,14 @@ fn main() {
     let mut now = ready;
     for k in 0..12u64 {
         let (owner, _, done) = cluster
-            .serve_partitioned(k, ServiceRequest::KvPut { key: k, value: k * k }, now)
+            .serve_partitioned(
+                k,
+                ServiceRequest::KvPut {
+                    key: k,
+                    value: k * k,
+                },
+                now,
+            )
             .expect("put");
         now = done;
         println!("  key {k:>2} -> DPU {owner}");
@@ -67,7 +74,9 @@ fn main() {
     let mut log = ClusterLog::new(4, 1 << 16);
     let mut t = now;
     for i in 0..8u64 {
-        let (pos, done) = log.append(format!("event-{i}").as_bytes(), t).expect("append");
+        let (pos, done) = log
+            .append(format!("event-{i}").as_bytes(), t)
+            .expect("append");
         t = done;
         println!("  log position {pos} -> site {}", pos % 4);
     }

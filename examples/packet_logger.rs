@@ -8,14 +8,14 @@
 use hyperion_repro::apps::fail2ban::{deploy, run_on_dpu, MAX_RETRY};
 use hyperion_repro::apps::trafficgen::TrafficGen;
 use hyperion_repro::core::control::ControlPlane;
-use hyperion_repro::core::dpu::HyperionDpu;
+use hyperion_repro::core::dpu::DpuBuilder;
 use hyperion_repro::sim::time::Ns;
 use hyperion_repro::storage::corfu::LogEntry;
 
 const AUTH_KEY: u64 = 0xC0FFEE;
 
 fn main() {
-    let mut dpu = HyperionDpu::assemble(AUTH_KEY);
+    let mut dpu = DpuBuilder::new().auth_key(AUTH_KEY).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     let mut cp = ControlPlane::new(AUTH_KEY);
     let (slot, live) = deploy(&mut dpu, &mut cp, t0).expect("deploy");

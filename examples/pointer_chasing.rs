@@ -7,10 +7,8 @@
 //!
 //! Run with: `cargo run --example pointer_chasing`
 
-use hyperion_repro::apps::pointer_chase::{
-    client_driven_lookup, offloaded_lookup, populate_tree,
-};
-use hyperion_repro::core::dpu::HyperionDpu;
+use hyperion_repro::apps::pointer_chase::{client_driven_lookup, offloaded_lookup, populate_tree};
+use hyperion_repro::core::dpu::DpuBuilder;
 use hyperion_repro::net::rpc::RpcChannel;
 use hyperion_repro::net::transport::{Endpoint, EndpointKind, Transport, TransportKind};
 use hyperion_repro::net::Network;
@@ -18,7 +16,7 @@ use hyperion_repro::sim::time::Ns;
 
 fn main() {
     for &keys in &[1_000u64, 50_000] {
-        let mut dpu = HyperionDpu::assemble(1);
+        let mut dpu = DpuBuilder::new().auth_key(1).build();
         let t0 = dpu.boot(Ns::ZERO).expect("boot");
         let t0 = populate_tree(&mut dpu, keys, t0);
         let height = dpu.btree.as_ref().expect("tree").height();

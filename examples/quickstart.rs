@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use hyperion_repro::core::control::{ControlPlane, ControlRequest, ControlResponse};
-use hyperion_repro::core::dpu::HyperionDpu;
+use hyperion_repro::core::dpu::DpuBuilder;
 use hyperion_repro::core::services::{ServiceRequest, ServiceResponse, TableRegistry};
 use hyperion_repro::mem::seglevel::{AllocHint, SegmentId};
 use hyperion_repro::sim::time::Ns;
@@ -15,7 +15,7 @@ const AUTH_KEY: u64 = 0xC0FFEE;
 fn main() {
     // 1. Power on. The DPU self-tests, recovers its segment table from
     //    the boot NVMe area, and comes up with no host attached.
-    let mut dpu = HyperionDpu::assemble(AUTH_KEY);
+    let mut dpu = DpuBuilder::new().auth_key(AUTH_KEY).build();
     let ready = dpu.boot(Ns::ZERO).expect("standalone boot");
     println!("DPU ready at {ready} (state: {:?})", dpu.state());
 
@@ -46,7 +46,10 @@ fn main() {
     let ControlResponse::Deployed { slot, live_at } = resp else {
         unreachable!()
     };
-    println!("kernel live in {slot} at {live_at} (reconfig {})", live_at - ready);
+    println!(
+        "kernel live in {slot} at {live_at} (reconfig {})",
+        live_at - ready
+    );
 
     // 3. Run packets through the deployed hardware pipeline.
     let kernel = cp.kernel_mut(slot).expect("deployed");
@@ -74,7 +77,10 @@ fn main() {
         .expect("write");
     let t = dpu.segments.persist_table(t).expect("persist");
     let t = dpu.boot(t).expect("reboot");
-    let (data, t) = dpu.segments.read(SegmentId(0xDECAF), 0, 20, t).expect("read");
+    let (data, t) = dpu
+        .segments
+        .read(SegmentId(0xDECAF), 0, 20, t)
+        .expect("read");
     println!(
         "after reboot, segment 0xDECAF holds: {:?}",
         std::str::from_utf8(&data).expect("utf8")

@@ -9,14 +9,20 @@ use hyperion_repro::storage::corfu::{CorfuLog, LogEntry};
 
 fn main() {
     let mut log = CorfuLog::new(4, 1 << 16);
-    println!("shared log over {} flash units, epoch {}", log.num_units(), log.epoch());
+    println!(
+        "shared log over {} flash units, epoch {}",
+        log.num_units(),
+        log.epoch()
+    );
 
     // Three clients append concurrently (interleaved closed loops).
     let mut client_time = [Ns::ZERO; 3];
     for i in 0..12u64 {
         let c = (i % 3) as usize;
         let entry = format!("client-{c}-msg-{}", i / 3);
-        let (pos, done) = log.append(entry.as_bytes(), client_time[c]).expect("append");
+        let (pos, done) = log
+            .append(entry.as_bytes(), client_time[c])
+            .expect("append");
         client_time[c] = done;
         println!("  client {c} -> position {pos} (durable at {done})");
     }
@@ -32,9 +38,15 @@ fn main() {
 
     // Seal + reconfigure: stragglers from the old epoch are fenced.
     let new_epoch = log.reconfigure();
-    println!("reconfigured to epoch {new_epoch}; tail recovered as {}", log.tail());
+    println!(
+        "reconfigured to epoch {new_epoch}; tail recovered as {}",
+        log.tail()
+    );
     let stale = log.unit_mut(0).write(0, 999, b"stale", Ns::ZERO);
-    println!("stale-epoch write rejected: {:?}", stale.expect_err("sealed"));
+    println!(
+        "stale-epoch write rejected: {:?}",
+        stale.expect_err("sealed")
+    );
 
     // Reads are position-addressed and immutable.
     let (entry, _) = log.read(0, client_time[2]).expect("read");

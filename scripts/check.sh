@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, and the full test suite.
+#
+# Run from the repository root:
+#   ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

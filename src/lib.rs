@@ -19,3 +19,4 @@ pub use hyperion_nvme as nvme;
 pub use hyperion_pcie as pcie;
 pub use hyperion_sim as sim;
 pub use hyperion_storage as storage;
+pub use hyperion_telemetry as telemetry;

@@ -4,7 +4,7 @@
 //! guarantee that no stage involves a CPU.
 
 use hyperion_repro::core::control::{ControlPlane, ControlRequest, ControlResponse};
-use hyperion_repro::core::dpu::{DpuState, HyperionDpu};
+use hyperion_repro::core::dpu::{DpuBuilder, DpuState};
 use hyperion_repro::mem::seglevel::{AllocHint, SegmentId};
 use hyperion_repro::sim::time::Ns;
 
@@ -12,7 +12,7 @@ const KEY: u64 = 0xC0FFEE;
 
 #[test]
 fn full_figure2_flow_with_zero_cpu_hops() {
-    let mut dpu = HyperionDpu::assemble(KEY);
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
     let mut cp = ControlPlane::new(KEY);
     assert_eq!(dpu.state(), DpuState::PoweredOff);
 
@@ -72,13 +72,16 @@ fn full_figure2_flow_with_zero_cpu_hops() {
     assert_eq!(dpu.root_complex.counters.get("dram_bounces"), 0);
 
     // The data actually landed: read it back.
-    let (back, _) = dpu.segments.read(SegmentId(1), 0, 4096, done).expect("read");
+    let (back, _) = dpu
+        .segments
+        .read(SegmentId(1), 0, 4096, done)
+        .expect("read");
     assert_eq!(back.as_ref(), payload.as_slice());
 }
 
 #[test]
 fn reboot_cycle_preserves_durable_state_and_slots_reset() {
-    let mut dpu = HyperionDpu::assemble(KEY);
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
     let t = dpu.boot(Ns::ZERO).expect("boot");
     dpu.segments
         .create(SegmentId(9), 8192, AllocHint::Durable, t)

@@ -2,12 +2,10 @@
 //! together on one DPU, plus remote access through the network stack.
 
 use hyperion_repro::apps::fail2ban;
-use hyperion_repro::apps::pointer_chase::{
-    client_driven_lookup, offloaded_lookup, populate_tree,
-};
+use hyperion_repro::apps::pointer_chase::{client_driven_lookup, offloaded_lookup, populate_tree};
 use hyperion_repro::apps::trafficgen::TrafficGen;
 use hyperion_repro::core::control::ControlPlane;
-use hyperion_repro::core::dpu::HyperionDpu;
+use hyperion_repro::core::dpu::DpuBuilder;
 use hyperion_repro::core::services::{ServiceRequest, ServiceResponse, TableRegistry};
 use hyperion_repro::net::rpc::RpcChannel;
 use hyperion_repro::net::transport::{Endpoint, EndpointKind, Transport, TransportKind};
@@ -18,7 +16,7 @@ const KEY: u64 = 0xC0FFEE;
 
 #[test]
 fn middleware_and_storage_services_share_one_dpu() {
-    let mut dpu = HyperionDpu::assemble(KEY);
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     let mut cp = ControlPlane::new(KEY);
 
@@ -34,7 +32,14 @@ fn middleware_and_storage_services_share_one_dpu() {
     let mut t = report.end;
     for k in 0..200u64 {
         let (_, t2) = dpu
-            .serve(&reg, ServiceRequest::TreeInsert { key: k, value: k + 1 }, t)
+            .serve(
+                &reg,
+                ServiceRequest::TreeInsert {
+                    key: k,
+                    value: k + 1,
+                },
+                t,
+            )
             .expect("insert");
         t = t2;
     }
@@ -55,7 +60,7 @@ fn middleware_and_storage_services_share_one_dpu() {
 
 #[test]
 fn remote_clients_see_consistent_tree_state_over_every_transport() {
-    let mut dpu = HyperionDpu::assemble(KEY);
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     let t0 = populate_tree(&mut dpu, 2_000, t0);
 
@@ -76,12 +81,18 @@ fn remote_clients_see_consistent_tree_state_over_every_transport() {
 fn tenancy_and_services_do_not_interfere() {
     // Deploy co-tenants while storage services keep running; the resident
     // pipeline's items and the LSM both make progress.
-    let mut dpu = HyperionDpu::assemble(KEY);
+    let mut dpu = DpuBuilder::new().auth_key(KEY).build();
     let t0 = dpu.boot(Ns::ZERO).expect("boot");
     let mut cp = ControlPlane::new(KEY);
-    let report =
-        hyperion_repro::core::tenancy::run_with_co_tenants(&mut dpu, &mut cp, 500, Ns(2_000), 2, t0)
-            .expect("tenancy");
+    let report = hyperion_repro::core::tenancy::run_with_co_tenants(
+        &mut dpu,
+        &mut cp,
+        500,
+        Ns(2_000),
+        2,
+        t0,
+    )
+    .expect("tenancy");
     assert_eq!(report.reconfigurations, 2);
     assert_eq!(report.resident_latency.count(), 500);
 

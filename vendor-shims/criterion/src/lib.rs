@@ -1,0 +1,150 @@
+//! Offline drop-in subset of the [`criterion`] crate.
+//!
+//! The workspace builds without network access, so the external
+//! `criterion` dev-dependency is replaced by this path crate. It keeps the
+//! API `benches/experiments.rs` uses — [`Criterion::bench_function`],
+//! [`Bencher::iter`], `criterion_group!`/`criterion_main!` — and measures
+//! with plain `std::time::Instant`: a warm-up pass, then `sample_size`
+//! timed batches, reporting min/mean over batches. No statistical
+//! analysis, plots, or baselines; good enough to spot order-of-magnitude
+//! regressions in the hot paths the benches pin down.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            iters_per_sample: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up batch, then timed samples.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up (also catches panics early with a small batch).
+        b.iters = (self.iters_per_sample / 10).max(1);
+        f(&mut b);
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            b.iters = self.iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            let per_iter = b.elapsed / self.iters_per_sample as u32;
+            best = best.min(per_iter);
+            total += per_iter;
+        }
+        let mean = total / self.sample_size as u32;
+        eprintln!(
+            "bench {id}: mean {:>12} best {:>12} ({} samples x {} iters)",
+            fmt_duration(mean),
+            fmt_duration(best),
+            self.sample_size,
+            self.iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group (`name = ...; config = ...; targets = ...`
+/// and plain `group_name, target...` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut count = 0u64;
+        c.bench_function("shim/self-test", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+}
