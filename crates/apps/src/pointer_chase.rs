@@ -18,7 +18,7 @@ use hyperion_net::rpc::{MethodId, RpcChannel};
 use hyperion_net::Network;
 use hyperion_sim::time::Ns;
 use hyperion_storage::blockstore::BLOCK;
-use hyperion_telemetry::Recorder;
+use hyperion_telemetry::{Component, Recorder};
 
 /// Result of one remote lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,10 +139,12 @@ pub fn client_driven_lookup(
     }
 }
 
-/// [`offloaded_lookup`] with telemetry: the on-DPU traversal runs through
-/// the traced dispatch path (service span + `tree.lookup` op sample), the
-/// single RPC records its per-leg wire spans, and the whole lookup lands
-/// as an `e6.offloaded` op sample.
+/// [`offloaded_lookup`] with telemetry: the whole lookup is one
+/// `chase:offloaded` root span (the per-request unit the critical-path
+/// analyzer decomposes), the on-DPU traversal runs through the traced
+/// dispatch path (service span + `tree.lookup` op sample), the single RPC
+/// records its per-leg wire spans, and the whole lookup lands as an
+/// `e6.offloaded` op sample.
 pub fn offloaded_lookup_traced(
     dpu: &mut HyperionDpu,
     channel: &mut RpcChannel,
@@ -151,6 +153,7 @@ pub fn offloaded_lookup_traced(
     now: Ns,
     rec: &mut Recorder,
 ) -> ChaseResult {
+    let root = rec.open(Component::Service, "chase:offloaded", now);
     let (resp, served) = dpu
         .dispatch_traced(now, TreeOp::Lookup { key }, rec)
         .expect("lookup");
@@ -161,6 +164,7 @@ pub fn offloaded_lookup_traced(
     let d = channel
         .call_traced(net, MethodId(1), now, 16, 16, work, rec)
         .expect("rpc");
+    rec.close(root, d.done);
     rec.record_op("e6.offloaded", d.done.saturating_sub(now));
     ChaseResult {
         value,
@@ -169,9 +173,10 @@ pub fn offloaded_lookup_traced(
     }
 }
 
-/// [`client_driven_lookup`] with telemetry: every per-level node fetch
-/// records its service span (`tree.node_read`) and wire spans, and the
-/// whole walk lands as an `e6.client_driven` op sample.
+/// [`client_driven_lookup`] with telemetry: the whole walk is one
+/// `chase:client` root span, every per-level node fetch records its
+/// service span (`tree.node_read`) and wire spans, and the walk lands as
+/// an `e6.client_driven` op sample.
 pub fn client_driven_lookup_traced(
     dpu: &mut HyperionDpu,
     channel: &mut RpcChannel,
@@ -180,6 +185,7 @@ pub fn client_driven_lookup_traced(
     now: Ns,
     rec: &mut Recorder,
 ) -> ChaseResult {
+    let root = rec.open(Component::Service, "chase:client", now);
     let tree = dpu.btree.as_ref().expect("tree exists");
     let mut lba = tree.root_lba();
     let height = tree.height();
@@ -219,6 +225,7 @@ pub fn client_driven_lookup_traced(
             lba = word(n + idx);
         }
     }
+    rec.close(root, t);
     rec.record_op("e6.client_driven", t.saturating_sub(now));
     ChaseResult {
         value,

@@ -1,0 +1,87 @@
+//! CLI for the performance-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.15]
+//! ```
+//!
+//! Both files are `report --json` snapshots. Exits 0 when every per-hop
+//! and per-op p99 in `current` is within the tolerance of `baseline`,
+//! 1 on regression (or stale baseline), 2 on usage/IO/parse errors.
+
+use std::process::ExitCode;
+
+use hyperion_bench::gate::{compare, DEFAULT_TOLERANCE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&String> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("bench_gate: --tolerance needs a non-negative number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(a);
+        }
+    }
+    let [baseline_path, current_path] = files[..] else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15]");
+        return ExitCode::from(2);
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let outcome = match compare(&baseline, &current, tolerance) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for r in &outcome.regressions {
+        println!(
+            "REGRESSION  {}  p99 {} -> {} ns  ({:.2}x, tolerance {:.0}%)",
+            r.metric,
+            r.baseline,
+            r.current,
+            r.ratio(),
+            tolerance * 100.0
+        );
+    }
+    for m in &outcome.missing {
+        println!("MISSING     {m}  (in baseline, absent now — regenerate {baseline_path})");
+    }
+    if outcome.pass() {
+        println!(
+            "bench_gate: OK — {} p99 metrics within {:.0}% of {}",
+            outcome.checked,
+            tolerance * 100.0,
+            baseline_path
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_gate: FAIL — {} regression(s), {} missing metric(s) vs {}",
+            outcome.regressions.len(),
+            outcome.missing.len(),
+            baseline_path
+        );
+        ExitCode::FAILURE
+    }
+}

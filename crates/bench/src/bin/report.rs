@@ -7,21 +7,40 @@
 //! report              # all experiments + breakdowns
 //! report e6 f2        # a subset by id (e1..e12, f2)
 //! report --json e6    # machine-readable telemetry dumps only
+//! report --trace e6   # Chrome/Perfetto trace of the first selection
+//! report --slo        # per-tenant SLO digest table only
 //! ```
 //!
 //! `--json` prints a JSON array of the selected experiments' telemetry
 //! dumps (deterministic: same build + same selection → byte-identical
-//! output) and skips the human-readable tables.
+//! output) and skips the human-readable tables. `--trace` prints the
+//! first selected experiment's span tree as `trace_event` JSON — pipe it
+//! to a file and open it at `ui.perfetto.dev`. `--slo` runs the
+//! deterministic multi-tenant mix and prints its digest table.
 
-use hyperion_bench::{breakdown, experiments, Table};
+use hyperion_bench::{breakdown, experiments, slo, Table};
 use hyperion_telemetry::json::to_json;
-use hyperion_telemetry::Recorder;
+use hyperion_telemetry::{to_perfetto, Recorder};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let json = raw.iter().any(|a| a == "--json");
+    let trace = raw.iter().any(|a| a == "--trace");
+    let slo_only = raw.iter().any(|a| a == "--slo");
     let args: Vec<String> = raw.into_iter().filter(|a| !a.starts_with('-')).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    if slo_only {
+        let (table, rec) = slo::run();
+        if json {
+            println!("[{}]", to_json(&rec));
+        } else if trace {
+            print!("{}", to_perfetto(&rec));
+        } else {
+            println!("{table}");
+        }
+        return;
+    }
 
     // Telemetry recorders for the instrumented experiments.
     let mut recs: Vec<Recorder> = Vec::new();
@@ -36,6 +55,15 @@ fn main() {
     }
     if want("e7") {
         recs.push(experiments::e7::telemetry());
+    }
+
+    if trace {
+        // One Perfetto process per export: trace the first selection.
+        match recs.first() {
+            Some(rec) => print!("{}", to_perfetto(rec)),
+            None => eprintln!("--trace: no instrumented experiment selected (e1/e4/e6/e7)"),
+        }
+        return;
     }
 
     if json {

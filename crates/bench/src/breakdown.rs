@@ -14,7 +14,8 @@ use hyperion_telemetry::{Component, Recorder};
 use crate::table::{fmt_ns, Table};
 
 /// All breakdown tables for one recorder, in print order. Sections with
-/// no rows (a run that sampled no ops or gauges) are omitted.
+/// no rows (a run that sampled no ops or gauges, or recorded no closed
+/// root spans) are omitted.
 pub fn tables(rec: &Recorder) -> Vec<Table> {
     let mut out = vec![hop_table(rec)];
     let ops = op_table(rec);
@@ -25,7 +26,37 @@ pub fn tables(rec: &Recorder) -> Vec<Table> {
     if let Some(g) = gauge_table(rec) {
         out.push(g);
     }
+    if let Some(c) = critical_path_table(rec) {
+        out.push(c);
+    }
     out
+}
+
+/// Critical-path summary: exclusive ("self") time per hop aggregated
+/// across every request (root span) the recorder captured, with the
+/// queue-wait share split out. `None` when the run recorded no closed
+/// root spans. Rows sort by total self time descending — the top row is
+/// where optimisation effort pays off first.
+pub fn critical_path_table(rec: &Recorder) -> Option<Table> {
+    let hops = hyperion_telemetry::critical_path::summary(rec);
+    if hops.is_empty() {
+        return None;
+    }
+    let total: u64 = hops.iter().map(|h| h.ns.0).sum();
+    let mut t = Table::new(
+        format!("{} — critical path (self time per hop)", rec.label()),
+        &["component", "hop", "self", "queue", "share"],
+    );
+    for h in hops {
+        t.row(vec![
+            h.component.name().to_string(),
+            h.name.to_string(),
+            fmt_ns(h.ns.0),
+            fmt_ns(h.queue_ns.0),
+            format!("{:.1}%", 100.0 * h.ns.0 as f64 / total as f64),
+        ]);
+    }
+    Some(t)
 }
 
 /// Per-hop breakdown: count, p50/p99 latency, total occupancy, energy.
@@ -143,18 +174,30 @@ mod tests {
     #[test]
     fn energy_shares_sum_to_about_100() {
         let t = energy_table(&sample_rec());
-        let total: f64 = t
-            .rows
-            .iter()
-            .map(|r| r[2].trim_end_matches('%').parse::<f64>().unwrap())
-            .sum();
+        let total: f64 = (0..t.rows.len()).map(|i| t.cell(i, 2).percent()).sum();
         assert!((99.0..=101.0).contains(&total), "shares sum {total}");
     }
 
     #[test]
     fn empty_sections_are_omitted() {
-        assert_eq!(tables(&sample_rec()).len(), 4);
-        // No ops, no gauges: only the (empty) hop and energy tables stay.
+        // Hops, ops, energy, gauges, critical path.
+        assert_eq!(tables(&sample_rec()).len(), 5);
+        // No ops, no gauges, no spans: only the (empty) hop and energy
+        // tables stay.
         assert_eq!(tables(&Recorder::new("empty")).len(), 2);
+    }
+
+    #[test]
+    fn critical_path_shares_cover_every_nanosecond() {
+        let mut r = Recorder::new("cp");
+        let root = r.open(Component::Net, "request", Ns(0));
+        r.record_hop(Component::Nvme, "nvme:read", Ns(10), Ns(90));
+        r.close(root, Ns(100));
+        let t = critical_path_table(&r).expect("one closed root");
+        // Two hops: the read's 80 ns and the root's remaining 20 ns.
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][1], "nvme:read");
+        assert_eq!(t.rows[0][4], "80.0%");
+        assert_eq!(t.rows[1][4], "20.0%");
     }
 }

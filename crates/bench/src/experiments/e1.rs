@@ -163,11 +163,11 @@ mod tests {
     fn efficiency_lands_in_or_above_the_paper_band() {
         let tables = tables();
         // Parse the efficiency column of the energy table.
-        for row in &tables[0].rows {
-            let eff: f64 = row[3].trim_end_matches('x').parse().unwrap();
+        for i in 0..tables[0].rows.len() {
+            let eff = tables[0].cell(i, 3).ratio();
             assert!(
                 eff >= 4.0,
-                "efficiency {eff} below the paper's 4x lower bound ({row:?})"
+                "efficiency {eff} below the paper's 4x lower bound (row {i})"
             );
         }
     }
@@ -175,8 +175,7 @@ mod tests {
     #[test]
     fn compactness_in_band() {
         let tables = tables();
-        let server_row = &tables[1].rows[1];
-        let ratio: f64 = server_row[3].trim_end_matches('x').parse().unwrap();
+        let ratio = tables[1].cell(1, 3).ratio();
         assert!((5.0..=10.0).contains(&ratio), "volume ratio {ratio}");
     }
 }

@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn more_lanes_shallower_pipelines() {
         let t = lanes_table();
-        let depth = |i: usize| -> u64 { t.rows[i][1].parse().unwrap() };
+        let depth = |i: usize| -> u64 { t.cell(i, 1).u64() };
         assert!(
             depth(0) > depth(2),
             "1 lane {} vs 4 lanes {}",
@@ -168,8 +168,8 @@ mod tests {
     #[test]
     fn bloom_removes_miss_reads() {
         let t = bloom_table();
-        let reads_on: u64 = t.rows[0][1].parse().unwrap();
-        let reads_off: u64 = t.rows[1][1].parse().unwrap();
+        let reads_on = t.cell(0, 1).u64();
+        let reads_off = t.cell(1, 1).u64();
         assert!(
             reads_on * 10 < reads_off,
             "bloom on {reads_on} vs off {reads_off}"
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn batching_cuts_spill_pages_linearly() {
         let t = spill_batch_table();
-        let pages = |i: usize| -> u64 { t.rows[i][1].parse().unwrap() };
+        let pages = |i: usize| -> u64 { t.cell(i, 1).u64() };
         assert!(pages(0) > pages(1));
         assert!(pages(1) > pages(2));
         // Batch 256 writes ~256x fewer pages than batch 1.
@@ -189,8 +189,8 @@ mod tests {
     #[test]
     fn huge_pages_help_but_do_not_reach_segment_cost() {
         let t = huge_page_table();
-        let small: f64 = t.rows[0][1].parse().unwrap();
-        let huge: f64 = t.rows[1][1].parse().unwrap();
+        let small = t.cell(0, 1).f64();
+        let huge = t.cell(1, 1).f64();
         assert!(huge < small, "2M {huge} vs 4K {small}");
         // Still above the 20 ns flat segment lookup: the §2.1 point
         // stands even with the standard mitigation.

@@ -123,22 +123,11 @@ mod tests {
         T.get_or_init(run)
     }
 
-    fn rate_of(cell: &str) -> f64 {
-        let (num, unit) = cell.split_once(' ').unwrap();
-        let v: f64 = num.parse().unwrap();
-        match unit {
-            "Gop/s" => v * 1e9,
-            "Mop/s" => v * 1e6,
-            "Kop/s" => v * 1e3,
-            _ => v,
-        }
-    }
-
     #[test]
     fn kv_gets_scale_with_members() {
         let t = &tables()[0];
-        let one = rate_of(&t.rows[0][2]);
-        let four = rate_of(&t.rows[2][2]);
+        let one = t.cell(0, 2).rate();
+        let four = t.cell(2, 2).rate();
         assert!(four > one * 2.0, "1 dpu {one} vs 4 dpus {four}");
     }
 
@@ -151,8 +140,8 @@ mod tests {
     #[test]
     fn log_appends_scale_with_sites() {
         let t = &tables()[1];
-        let one = rate_of(&t.rows[0][1]);
-        let four = rate_of(&t.rows[2][1]);
+        let one = t.cell(0, 1).rate();
+        let four = t.cell(2, 1).rate();
         assert!(four > one * 2.5, "1 site {one} vs 4 sites {four}");
         for row in &t.rows {
             assert_eq!(row[2], OPS.to_string());

@@ -53,10 +53,10 @@ mod tests {
     #[test]
     fn every_prior_pattern_involves_a_cpu() {
         let t = &run()[0];
-        for row in &t.rows[..t.rows.len() - 1] {
-            let hops: u64 = row[1].parse().unwrap();
-            let syscalls: u64 = row[2].parse().unwrap();
-            assert!(hops + syscalls > 0, "{row:?}");
+        for i in 0..t.rows.len() - 1 {
+            let hops = t.cell(i, 1).u64();
+            let syscalls = t.cell(i, 2).u64();
+            assert!(hops + syscalls > 0, "{:?}", t.rows[i]);
         }
     }
 }

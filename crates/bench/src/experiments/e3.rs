@@ -78,7 +78,7 @@ mod tests {
         let seg: Vec<&String> = t.rows.iter().map(|r| &r[2]).collect();
         assert!(seg.windows(2).all(|w| w[0] == w[1]));
         // Uniform VM cost grows with working set (rows 0, 2, 4).
-        let vm_at = |i: usize| -> f64 { t.rows[i][3].parse().unwrap() };
+        let vm_at = |i: usize| -> f64 { t.cell(i, 3).f64() };
         assert!(
             vm_at(2) > vm_at(0),
             "10k vs 1k: {} vs {}",
@@ -92,15 +92,15 @@ mod tests {
     fn vm_beats_nothing_once_working_set_exceeds_tlb() {
         let t = &run()[0];
         // At 100k uniform objects the overhead ratio must be large.
-        let ratio: f64 = t.rows[4][5].trim_end_matches('x').parse().unwrap();
+        let ratio = t.cell(4, 5).ratio();
         assert!(ratio > 2.0, "ratio {ratio}");
     }
 
     #[test]
     fn skew_softens_vm_cost() {
         let t = &run()[0];
-        let uniform: f64 = t.rows[4][3].parse().unwrap();
-        let zipf: f64 = t.rows[5][3].parse().unwrap();
+        let uniform = t.cell(4, 3).f64();
+        let zipf = t.cell(5, 3).f64();
         assert!(zipf < uniform, "zipf {zipf} vs uniform {uniform}");
     }
 }

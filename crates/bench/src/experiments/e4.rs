@@ -171,8 +171,9 @@ pub fn telemetry() -> Recorder {
         let mut sw_now = Ns::ZERO;
         for i in 0..TELEMETRY_PACKETS {
             packet[0] = i as u8;
-            let done = hw.admit(hw_now);
-            rec.record_hop(Component::Fabric, hw_hop, hw_now, done);
+            // The traced twin also marks intake back-pressure (II spacing)
+            // as a queueing edge for the critical-path analyzer.
+            let done = hw.admit_traced(hw_hop, hw_now, &mut rec);
             hw_now = done;
 
             let r = vm.run(&program, &mut packet).expect("run");
@@ -211,21 +212,16 @@ mod tests {
     fn hardware_wins_by_an_order_of_magnitude_for_stateless() {
         let t = &run()[0];
         // filter row: II = 1, expect >=10x (hXDP-class).
-        let speedup: f64 = t.rows[0]
-            .last()
-            .unwrap()
-            .trim_end_matches('x')
-            .parse()
-            .unwrap();
+        let speedup = t.cell(0, t.headers.len() - 1).ratio();
         assert!(speedup >= 10.0, "filter speedup {speedup}");
     }
 
     #[test]
     fn stateful_programs_pay_ii() {
         let t = &run()[0];
-        let hist_ii: u64 = t.rows[2][3].parse().unwrap();
+        let hist_ii = t.cell(2, 3).u64();
         assert!(hist_ii > 1, "histogram must have II > 1 (map update)");
-        let filter_ii: u64 = t.rows[0][3].parse().unwrap();
+        let filter_ii = t.cell(0, 3).u64();
         assert_eq!(filter_ii, 1);
     }
 }

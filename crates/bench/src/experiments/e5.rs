@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn dpu_wins_on_selective_scans_with_a_crossover_at_full_scans() {
         let t = &tables()[0];
-        let win = |i: usize| -> f64 { t.rows[i][5].trim_end_matches('x').parse().unwrap() };
+        let win = |i: usize| -> f64 { t.cell(i, 5).ratio() };
         // Pushdown pays off when stats skip row groups (1% and 10%).
         assert!(win(0) > 1.0, "1% scan must win: {}", win(0));
         assert!(win(1) > 1.0, "10% scan must win: {}", win(1));
@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn io_savings_track_selectivity() {
         let t = &tables()[0];
-        let io_win_1pct: f64 = t.rows[0][6].trim_end_matches('x').parse().unwrap();
+        let io_win_1pct = t.cell(0, 6).ratio();
         assert!(io_win_1pct > 5.0, "1% scan io win {io_win_1pct}");
     }
 }

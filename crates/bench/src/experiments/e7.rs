@@ -250,22 +250,11 @@ mod tests {
         T.get_or_init(lb_table)
     }
 
-    fn rate_of(cell: &str) -> f64 {
-        let (num, unit) = cell.split_once(' ').unwrap();
-        let v: f64 = num.parse().unwrap();
-        match unit {
-            "Gop/s" => v * 1e9,
-            "Mop/s" => v * 1e6,
-            "Kop/s" => v * 1e3,
-            _ => v,
-        }
-    }
-
     #[test]
     fn dpu_outpaces_host_and_both_log_all_bans() {
         let t = f2b();
-        let dpu_rate = rate_of(&t.rows[0][1]);
-        let host_rate = rate_of(&t.rows[1][1]);
+        let dpu_rate = t.cell(0, 1).rate();
+        let host_rate = t.cell(1, 1).rate();
         assert!(
             dpu_rate > host_rate * 3.0,
             "dpu {dpu_rate} vs host {host_rate}"
@@ -278,7 +267,7 @@ mod tests {
     #[test]
     fn lb_spills_only_beyond_dram_capacity() {
         let t = lb();
-        let spills = |i: usize| -> u64 { t.rows[i][1].parse().unwrap() };
+        let spills = |i: usize| -> u64 { t.cell(i, 1).u64() };
         assert_eq!(spills(0), 0, "10k flows fit in DRAM");
         assert!(spills(2) > 0, "200k flows must spill");
     }
@@ -286,8 +275,8 @@ mod tests {
     #[test]
     fn throughput_degrades_gracefully_under_spill() {
         let t = lb();
-        let r_small = rate_of(&t.rows[0][3]);
-        let r_big = rate_of(&t.rows[2][3]);
+        let r_small = t.cell(0, 3).rate();
+        let r_big = t.cell(2, 3).rate();
         assert!(r_big < r_small, "spill costs throughput");
         // 4x the DRAM capacity with Zipf-0.9 traffic: ~40% of packets
         // pay a flash tR to re-promote a cold flow, so the rate drops two

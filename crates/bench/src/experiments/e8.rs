@@ -84,34 +84,21 @@ fn host_tenancy(co_tenants: usize) -> Histogram {
 mod tests {
     use super::*;
 
-    fn parse_ns(cell: &str) -> f64 {
-        // Cells look like "123ns" / "1.500us" / "2.000ms".
-        if let Some(v) = cell.strip_suffix("ms") {
-            v.parse::<f64>().unwrap() * 1e6
-        } else if let Some(v) = cell.strip_suffix("us") {
-            v.parse::<f64>().unwrap() * 1e3
-        } else if let Some(v) = cell.strip_suffix("ns") {
-            v.parse::<f64>().unwrap()
-        } else {
-            panic!("bad ns cell {cell}")
-        }
-    }
-
     #[test]
     fn hyperion_tail_is_invariant_to_co_tenants() {
         let t = &run()[0];
-        let p999_alone = parse_ns(&t.rows[0][4]);
-        let p999_crowded = parse_ns(&t.rows[2][4]);
+        let p999_alone = t.cell(0, 4).ns();
+        let p999_crowded = t.cell(2, 4).ns();
         assert_eq!(p999_alone, p999_crowded, "fabric isolation must hold");
     }
 
     #[test]
     fn host_tail_inflates_with_co_tenants() {
         let t = &run()[0];
-        let host_alone = parse_ns(&t.rows[3][4]);
-        let host_crowded = parse_ns(&t.rows[5][4]);
+        let host_alone = t.cell(3, 4).ns();
+        let host_crowded = t.cell(5, 4).ns();
         assert!(
-            host_crowded > host_alone * 5.0,
+            host_crowded > host_alone * 5,
             "shared CPU p99.9 must blow up: {host_alone} -> {host_crowded}"
         );
     }

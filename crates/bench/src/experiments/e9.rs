@@ -101,22 +101,11 @@ fn replication_table() -> Table {
 mod tests {
     use super::*;
 
-    fn rate_of(cell: &str) -> f64 {
-        let (num, unit) = cell.split_once(' ').unwrap();
-        let v: f64 = num.parse().unwrap();
-        match unit {
-            "Gop/s" => v * 1e9,
-            "Mop/s" => v * 1e6,
-            "Kop/s" => v * 1e3,
-            _ => v,
-        }
-    }
-
     #[test]
     fn throughput_scales_with_stripe_width() {
         let t = &run()[0];
-        let one = rate_of(&t.rows[0][2]);
-        let four = rate_of(&t.rows[2][2]);
+        let one = t.cell(0, 2).rate();
+        let four = t.cell(2, 2).rate();
         assert!(four > one * 2.0, "striping must scale: {one} -> {four}");
     }
 
@@ -131,18 +120,18 @@ mod tests {
     #[test]
     fn dpu_log_beats_host_mediated() {
         let t = &run()[0];
-        let dpu4 = rate_of(&t.rows[2][2]);
-        let host = rate_of(&t.rows[4][2]);
+        let dpu4 = t.cell(2, 2).rate();
+        let host = t.cell(4, 2).rate();
         assert!(dpu4 > host, "dpu {dpu4} vs host {host}");
     }
 
     #[test]
     fn replication_trades_bandwidth_for_zero_loss() {
         let t = &run()[1];
-        let r1_rate = rate_of(&t.rows[0][1]);
-        let r2_rate = rate_of(&t.rows[1][1]);
-        let r1_lost: u64 = t.rows[0][2].parse().unwrap();
-        let r2_lost: u64 = t.rows[1][2].parse().unwrap();
+        let r1_rate = t.cell(0, 1).rate();
+        let r2_rate = t.cell(1, 1).rate();
+        let r1_lost = t.cell(0, 2).u64();
+        let r2_lost = t.cell(1, 2).u64();
         assert!(r2_rate < r1_rate, "chains cost bandwidth");
         assert!(r1_lost > 0, "unreplicated entries are lost: {r1_lost}");
         assert_eq!(r2_lost, 0, "replicated entries all survive");

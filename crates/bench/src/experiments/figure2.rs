@@ -119,20 +119,7 @@ mod tests {
     fn stages_are_causally_ordered() {
         let t = &run()[0];
         // Completed-at values must be non-decreasing down the table.
-        let ns = |s: &str| -> f64 {
-            if let Some(v) = s.strip_suffix("ms") {
-                v.parse::<f64>().unwrap() * 1e6
-            } else if let Some(v) = s.strip_suffix("us") {
-                v.parse::<f64>().unwrap() * 1e3
-            } else if let Some(v) = s.strip_suffix("ns") {
-                v.parse::<f64>().unwrap()
-            } else if let Some(v) = s.strip_suffix('s') {
-                v.parse::<f64>().unwrap() * 1e9
-            } else {
-                panic!("bad cell {s}")
-            }
-        };
-        let times: Vec<f64> = t.rows.iter().map(|r| ns(&r[1])).collect();
+        let times: Vec<u64> = (0..t.rows.len()).map(|i| t.cell(i, 1).ns()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
     }
 }

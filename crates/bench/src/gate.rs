@@ -1,0 +1,479 @@
+//! The performance-regression gate: compare a fresh `report --json`
+//! snapshot against the committed `BENCH_report.json` baseline.
+//!
+//! The simulator is deterministic, so performance changes are *code*
+//! changes: any drift between two snapshots of the same experiments is a
+//! real model/implementation delta, not noise. The gate extracts every
+//! per-hop and per-op p99 from both snapshots and fails when the current
+//! value exceeds the baseline by more than the tolerance (default
+//! [`DEFAULT_TOLERANCE`], the ISSUE's 15%). Improvements and brand-new
+//! metrics pass; metrics that *disappear* fail, because that means the
+//! committed baseline is stale and needs regenerating.
+//!
+//! The workspace builds offline with no serde, so the module carries its
+//! own minimal recursive-descent JSON parser — enough for the dumps
+//! [`hyperion_telemetry::json::to_json`] emits.
+
+use std::fmt;
+
+/// Relative p99 growth beyond which the gate fails (0.15 = +15%).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (the dumps only use non-negative decimals).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `u64`, if it is a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar (the dumps are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| ParseError {
+                        message: "invalid UTF-8".into(),
+                        offset: self.pos,
+                    })?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => self.err(format!("bad number '{text}'")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(v)
+}
+
+/// Flattens a `report --json` snapshot (an array of telemetry dumps) into
+/// gate metrics: one `(name, p99_ns)` pair per hop and per op, named
+/// `"<label> :: hop <component>/<hop>"` / `"<label> :: op <op>"`.
+pub fn metrics(doc: &Json) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let Some(dumps) = doc.as_arr() else {
+        return out;
+    };
+    for dump in dumps {
+        let label = dump
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("(unlabelled)");
+        for hop in dump.get("hops").and_then(Json::as_arr).unwrap_or_default() {
+            let (Some(component), Some(name), Some(p99)) = (
+                hop.get("component").and_then(Json::as_str),
+                hop.get("name").and_then(Json::as_str),
+                hop.get("p99_ns").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            out.push((format!("{label} :: hop {component}/{name}"), p99));
+        }
+        for op in dump.get("ops").and_then(Json::as_arr).unwrap_or_default() {
+            let (Some(name), Some(p99)) = (
+                op.get("op").and_then(Json::as_str),
+                op.get("p99_ns").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            out.push((format!("{label} :: op {name}"), p99));
+        }
+    }
+    out
+}
+
+/// One metric that moved past the tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric name (`"<label> :: hop <component>/<hop>"`).
+    pub metric: String,
+    /// Baseline p99 in ns.
+    pub baseline: u64,
+    /// Current p99 in ns.
+    pub current: u64,
+}
+
+impl Regression {
+    /// current/baseline growth ratio.
+    pub fn ratio(&self) -> f64 {
+        self.current as f64 / self.baseline.max(1) as f64
+    }
+}
+
+/// The gate's verdict over one baseline/current pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Outcome {
+    /// Metrics whose p99 grew past the tolerance.
+    pub regressions: Vec<Regression>,
+    /// Baseline metrics absent from the current snapshot (stale baseline).
+    pub missing: Vec<String>,
+    /// Metrics present in both snapshots.
+    pub checked: usize,
+}
+
+impl Outcome {
+    /// Whether the gate passes.
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares two `report --json` snapshots.
+///
+/// A metric regresses when `current > baseline * (1 + tolerance)`.
+/// Metrics only in `current` are new coverage and pass; metrics only in
+/// `baseline` land in [`Outcome::missing`] and fail the gate (regenerate
+/// the committed baseline when renaming hops or ops).
+pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<Outcome, ParseError> {
+    let base = metrics(&parse(baseline)?);
+    let cur = metrics(&parse(current)?);
+    let mut out = Outcome::default();
+    for (metric, b) in base {
+        match cur.iter().find(|(m, _)| *m == metric) {
+            None => out.missing.push(metric),
+            Some((_, c)) => {
+                out.checked += 1;
+                if (*c as f64) > b as f64 * (1.0 + tolerance) {
+                    out.regressions.push(Regression {
+                        metric,
+                        baseline: b,
+                        current: *c,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_telemetry::json::to_json;
+    use hyperion_telemetry::{Component, Ns, Recorder};
+
+    fn snapshot(read_ns: u64) -> String {
+        let mut rec = Recorder::new("gate-unit");
+        for i in 0..100u64 {
+            let t = Ns(i * 10_000);
+            rec.record_hop(Component::Net, "udp:send", t, t + Ns(1_200));
+            rec.record_hop(Component::Nvme, "nvme:read", t, t + Ns(read_ns));
+            rec.record_op("kv.get", Ns(1_200 + read_ns));
+        }
+        format!("[{}]", to_json(&rec))
+    }
+
+    #[test]
+    fn parser_round_trips_a_dump() {
+        let doc = parse(&snapshot(8_000)).expect("parse");
+        let m = metrics(&doc);
+        assert!(m
+            .iter()
+            .any(|(name, p99)| name == "gate-unit :: hop nvme/nvme:read" && *p99 >= 8_000));
+        assert!(m.iter().any(|(name, _)| name == "gate-unit :: op kv.get"));
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let s = snapshot(8_000);
+        let out = compare(&s, &s, DEFAULT_TOLERANCE).expect("compare");
+        assert!(out.pass(), "{out:?}");
+        assert!(out.checked >= 3);
+    }
+
+    #[test]
+    fn two_x_slowdown_in_one_hop_fails() {
+        // The ISSUE's acceptance case: double one hop's latency and the
+        // gate must fail, naming the hop.
+        let base = snapshot(8_000);
+        let slow = snapshot(16_000);
+        let out = compare(&base, &slow, DEFAULT_TOLERANCE).expect("compare");
+        assert!(!out.pass());
+        assert_eq!(out.regressions.len(), 2, "{:?}", out.regressions);
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.metric == "gate-unit :: hop nvme/nvme:read" && r.ratio() > 1.9));
+        // The untouched hop does not fire.
+        assert!(!out
+            .regressions
+            .iter()
+            .any(|r| r.metric.contains("udp:send")));
+    }
+
+    #[test]
+    fn improvements_and_new_metrics_pass_but_missing_fail() {
+        let base = snapshot(8_000);
+        let fast = snapshot(4_000);
+        assert!(compare(&base, &fast, DEFAULT_TOLERANCE).unwrap().pass());
+
+        // Current has a metric the baseline lacks: fine.
+        let out = compare(&snapshot(8_000), &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.pass());
+
+        // Baseline has a metric the current lacks: stale baseline, fail.
+        let mut rec = Recorder::new("gate-unit");
+        rec.record_hop(Component::Net, "udp:send", Ns(0), Ns(1_200));
+        let smaller = format!("[{}]", to_json(&rec));
+        let out = compare(&base, &smaller, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.pass());
+        assert!(out.missing.iter().any(|m| m.contains("nvme:read")));
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        let base = snapshot(10_000);
+        let slightly_slow = snapshot(11_000);
+        // +10% passes at 15% tolerance, fails at 5%.
+        assert!(compare(&base, &slightly_slow, 0.15).unwrap().pass());
+        assert!(!compare(&base, &slightly_slow, 0.05).unwrap().pass());
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse("{\"a\": }").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("[1] trailing").is_err());
+    }
+}

@@ -10,6 +10,8 @@
 
 pub mod breakdown;
 pub mod experiments;
+pub mod gate;
+pub mod slo;
 pub mod table;
 
 pub use table::Table;

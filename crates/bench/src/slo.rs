@@ -1,0 +1,79 @@
+//! Per-tenant SLO digests: the `report --slo` surface.
+//!
+//! Runs the deterministic multi-tenant service mix of
+//! [`hyperion::tenancy::run_tenant_mix`] on a freshly booted DPU and
+//! renders one digest row per `(tenant, op-group)` — p50/p99/p999/max —
+//! the numbers an operator's SLO dashboard would track (paper §4 Q4:
+//! a multi-tenant Hyperion must be *operable* like a server).
+
+use hyperion::dpu::DpuBuilder;
+use hyperion::tenancy::run_tenant_mix;
+use hyperion_sim::time::Ns;
+use hyperion_telemetry::Recorder;
+
+use crate::table::{fmt_ns, Table};
+
+/// Tenants in the digest run.
+const TENANTS: u32 = 3;
+
+/// Requests per tenant (enough samples for a stable p99.9 at the mix's
+/// op rates, small enough to keep `report --slo` instant).
+const REQUESTS_PER_TENANT: u64 = 400;
+
+/// Auth key for the digest run's DPU (any constant works; the run is
+/// single-operator).
+const AUTH_KEY: u64 = 0x510;
+
+/// Runs the tenant mix and returns the digest table plus the recorder
+/// that captured the run (for `--json`/`--trace` consumers).
+pub fn run() -> (Table, Recorder) {
+    let mut dpu = DpuBuilder::new().auth_key(AUTH_KEY).build();
+    let boot = dpu.boot(Ns::ZERO).expect("boot");
+    let mut rec = Recorder::new("SLO: per-tenant service digests");
+    let (slo, _) =
+        run_tenant_mix(&mut dpu, TENANTS, REQUESTS_PER_TENANT, boot, &mut rec).expect("tenant mix");
+
+    let mut t = Table::new(
+        "Per-tenant SLO digests (p50/p99/p999 per op group)",
+        &["tenant", "group", "count", "p50", "p99", "p99.9", "max"],
+    );
+    for row in slo.digest() {
+        t.row(vec![
+            row.tenant.to_string(),
+            row.group.to_string(),
+            row.count.to_string(),
+            fmt_ns(row.p50),
+            fmt_ns(row.p99),
+            fmt_ns(row.p999),
+            fmt_ns(row.max),
+        ]);
+    }
+    (t, rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_table_has_one_row_per_tenant_group() {
+        let (t, rec) = run();
+        assert_eq!(t.rows.len(), TENANTS as usize);
+        assert_eq!(rec.open_spans(), 0);
+        // Row order is (tenant, group): 0/kv, 1/tree, 2/log.
+        assert_eq!(t.rows[0][1], "kv");
+        assert_eq!(t.rows[1][1], "tree");
+        assert_eq!(t.rows[2][1], "log");
+    }
+
+    #[test]
+    fn slo_run_is_deterministic() {
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(
+            hyperion_telemetry::json::to_json(&ra),
+            hyperion_telemetry::json::to_json(&rb)
+        );
+    }
+}

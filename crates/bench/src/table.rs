@@ -40,6 +40,136 @@ impl Table {
         );
         self.rows.push(cells);
     }
+
+    /// Typed access to one cell. Every parse failure through the returned
+    /// [`Cell`] names the table, row, column header, and raw text —
+    /// instead of the bare `ParseFloatError` a `.parse().unwrap()` chain
+    /// gives.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the same context) if `row`/`col` is out of range.
+    pub fn cell(&self, row: usize, col: usize) -> Cell<'_> {
+        assert!(
+            row < self.rows.len() && col < self.headers.len(),
+            "{}: no cell [{row}][{col}] ({} rows x {} cols)",
+            self.title,
+            self.rows.len(),
+            self.headers.len()
+        );
+        Cell {
+            table: self,
+            row,
+            col,
+        }
+    }
+}
+
+/// One table cell, addressable for typed parsing. Obtained from
+/// [`Table::cell`]; all accessors panic with full context (table title,
+/// row, column header, raw text) on malformed cells, so a failing
+/// experiment test points straight at the offending value.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell<'a> {
+    table: &'a Table,
+    row: usize,
+    col: usize,
+}
+
+impl Cell<'_> {
+    /// The raw cell text.
+    pub fn raw(&self) -> &str {
+        &self.table.rows[self.row][self.col]
+    }
+
+    #[track_caller]
+    fn fail(&self, wanted: &str) -> ! {
+        panic!(
+            "{}[{}][{}] ({:?}): cannot parse {:?} as {wanted}",
+            self.table.title,
+            self.row,
+            self.col,
+            self.table.headers[self.col],
+            self.raw()
+        )
+    }
+
+    /// The cell as a plain number.
+    #[track_caller]
+    pub fn f64(&self) -> f64 {
+        match self.raw().parse() {
+            Ok(v) => v,
+            Err(_) => self.fail("f64"),
+        }
+    }
+
+    /// The cell as a plain unsigned integer.
+    #[track_caller]
+    pub fn u64(&self) -> u64 {
+        match self.raw().parse() {
+            Ok(v) => v,
+            Err(_) => self.fail("u64"),
+        }
+    }
+
+    /// A [`fmt_ratio`]-style cell: a number with an optional `x` suffix.
+    #[track_caller]
+    pub fn ratio(&self) -> f64 {
+        match self.raw().trim_end_matches('x').parse() {
+            Ok(v) => v,
+            Err(_) => self.fail("ratio (\"1.50x\")"),
+        }
+    }
+
+    /// A percentage cell: a number with an optional `%` suffix.
+    #[track_caller]
+    pub fn percent(&self) -> f64 {
+        match self.raw().trim_end_matches('%').parse() {
+            Ok(v) => v,
+            Err(_) => self.fail("percent (\"42.0%\")"),
+        }
+    }
+
+    /// A [`fmt_ns`]-style cell: a duration with an `s`/`ms`/`us`/`ns`
+    /// unit, returned in nanoseconds.
+    #[track_caller]
+    pub fn ns(&self) -> u64 {
+        let raw = self.raw();
+        let parsed = [("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9)]
+            .iter()
+            .find_map(|(suffix, scale)| {
+                raw.strip_suffix(suffix)
+                    .and_then(|n| n.parse::<f64>().ok())
+                    .map(|n| (n * scale).round() as u64)
+            });
+        match parsed {
+            Some(v) => v,
+            None => self.fail("duration (\"1.234ms\")"),
+        }
+    }
+
+    /// A [`fmt_rate`]-style cell: ops/second in engineering units,
+    /// returned as plain ops/second.
+    #[track_caller]
+    pub fn rate(&self) -> f64 {
+        let raw = self.raw();
+        let parsed = [
+            (" Gop/s", 1e9),
+            (" Mop/s", 1e6),
+            (" Kop/s", 1e3),
+            (" op/s", 1.0),
+        ]
+        .iter()
+        .find_map(|(suffix, scale)| {
+            raw.strip_suffix(suffix)
+                .and_then(|n| n.parse::<f64>().ok())
+                .map(|n| n * scale)
+        });
+        match parsed {
+            Some(v) => v,
+            None => self.fail("rate (\"2.00 Mop/s\")"),
+        }
+    }
 }
 
 impl fmt::Display for Table {
@@ -129,5 +259,48 @@ mod tests {
         assert_eq!(fmt_ratio(7.0), "7.00x");
         assert_eq!(fmt_rate(2_000_000.0), "2.00 Mop/s");
         assert_eq!(fmt_rate(500.0), "500.0 op/s");
+    }
+
+    #[test]
+    fn cells_round_trip_the_formatters() {
+        let mut t = Table::new("fmt", &["ns", "ratio", "rate", "pct", "n"]);
+        t.row(vec![
+            fmt_ns(1_234_000),
+            fmt_ratio(2.5),
+            fmt_rate(3.25e9),
+            "42.5%".into(),
+            "7".into(),
+        ]);
+        t.row(vec![
+            fmt_ns(950),
+            fmt_ratio(1.0),
+            fmt_rate(10.0),
+            "0%".into(),
+            "0".into(),
+        ]);
+        assert_eq!(t.cell(0, 0).ns(), 1_234_000);
+        assert_eq!(t.cell(1, 0).ns(), 950);
+        assert_eq!(t.cell(0, 1).ratio(), 2.5);
+        assert_eq!(t.cell(0, 2).rate(), 3.25e9);
+        assert_eq!(t.cell(1, 2).rate(), 10.0);
+        assert_eq!(t.cell(0, 3).percent(), 42.5);
+        assert_eq!(t.cell(0, 4).u64(), 7);
+        assert_eq!(t.cell(0, 4).f64(), 7.0);
+        assert_eq!(t.cell(0, 0).raw(), "1.234ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "fmt[0][0] (\"ns\"): cannot parse \"oops\" as duration")]
+    fn cell_failures_name_table_row_and_column() {
+        let mut t = Table::new("fmt", &["ns"]);
+        t.row(vec!["oops".into()]);
+        t.cell(0, 0).ns();
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell [3][0]")]
+    fn out_of_range_cells_name_the_table() {
+        let t = Table::new("fmt", &["a"]);
+        t.cell(3, 0);
     }
 }

@@ -120,9 +120,10 @@ pub struct DpuPorts {
 /// Builder for a [`HyperionDpu`].
 ///
 /// Defaults match the prototype blueprint: two segment-store SSDs, five
-/// reconfigurable slots, auth key 0. `assemble(auth_key)` is the old
-/// one-knob surface; the builder exposes the assembly choices the paper
-/// treats as deployment parameters.
+/// reconfigurable slots, auth key 0. The builder exposes the assembly
+/// choices the paper treats as deployment parameters; the deprecated
+/// `assemble(auth_key)` one-knob shim remains only for out-of-tree
+/// callers and is hidden from docs.
 #[derive(Debug, Clone, Copy)]
 pub struct DpuBuilder {
     segment_ssds: usize,
@@ -215,6 +216,7 @@ impl DpuBuilder {
 
 impl HyperionDpu {
     /// Assembles an unbooted DPU with fresh SSDs.
+    #[doc(hidden)]
     #[deprecated(since = "0.1.0", note = "use `DpuBuilder` instead")]
     pub fn assemble(auth_key: u64) -> HyperionDpu {
         DpuBuilder::new().auth_key(auth_key).build()

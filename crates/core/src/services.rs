@@ -653,6 +653,19 @@ impl ServiceOp {
         }
     }
 
+    /// The op-group label SLO digests aggregate under (`kv`, `tree`,
+    /// `log`, `file`, `columnar`): coarser than [`ServiceOp::label`], one
+    /// bucket per service family.
+    pub fn group(&self) -> &'static str {
+        match self {
+            ServiceOp::Kv(_) => "kv",
+            ServiceOp::Tree(_) => "tree",
+            ServiceOp::Log(_) => "log",
+            ServiceOp::File(_) => "file",
+            ServiceOp::Columnar(_) => "columnar",
+        }
+    }
+
     /// Routes to the owning group's dispatch.
     pub fn dispatch(
         self,

@@ -14,9 +14,12 @@
 
 use hyperion_sim::stats::Histogram;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::Recorder;
 
 use crate::control::{ControlError, ControlPlane, ControlRequest};
 use crate::dpu::HyperionDpu;
+use crate::services::{KvOp, LogOp, ServiceError, ServiceOp, ServiceResponse, TreeOp};
+use bytes::Bytes;
 
 /// Outcome of a tenancy run.
 #[derive(Debug, Clone)]
@@ -89,6 +92,162 @@ pub fn run_with_co_tenants(
     })
 }
 
+/// One tenant's latency digest for one [`ServiceOp`] group — the row a
+/// fleet operator's SLO dashboard would show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloDigest {
+    /// Tenant index.
+    pub tenant: u32,
+    /// Op-group label ([`ServiceOp::group`]): `kv`, `tree`, `log`, ….
+    pub group: &'static str,
+    /// Operations observed.
+    pub count: u64,
+    /// Median latency (ns).
+    pub p50: u64,
+    /// 99th-percentile latency (ns).
+    pub p99: u64,
+    /// 99.9th-percentile latency (ns).
+    pub p999: u64,
+    /// Worst observed latency (ns).
+    pub max: u64,
+}
+
+/// Per-tenant, per-op-group latency accounting (paper §4 Q4: operating a
+/// multi-tenant Hyperion like a server means per-tenant SLOs, not one
+/// device-wide histogram).
+#[derive(Debug, Clone, Default)]
+pub struct SloTracker {
+    cells: Vec<(u32, &'static str, Histogram)>,
+}
+
+impl SloTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> SloTracker {
+        SloTracker::default()
+    }
+
+    /// Records one operation's end-to-end latency for `(tenant, group)`.
+    pub fn observe(&mut self, tenant: u32, group: &'static str, latency: Ns) {
+        if let Some(c) = self
+            .cells
+            .iter_mut()
+            .find(|(t, g, _)| *t == tenant && *g == group)
+        {
+            c.2.record_ns(latency);
+            return;
+        }
+        let mut h = Histogram::new();
+        h.record_ns(latency);
+        self.cells.push((tenant, group, h));
+    }
+
+    /// The underlying histogram for one `(tenant, group)` cell.
+    pub fn histogram(&self, tenant: u32, group: &'static str) -> Option<&Histogram> {
+        self.cells
+            .iter()
+            .find(|(t, g, _)| *t == tenant && *g == group)
+            .map(|(_, _, h)| h)
+    }
+
+    /// Digest rows, sorted by `(tenant, group)` — deterministic output
+    /// for reports and dumps.
+    pub fn digest(&self) -> Vec<SloDigest> {
+        let mut rows: Vec<SloDigest> = self
+            .cells
+            .iter()
+            .map(|(tenant, group, h)| SloDigest {
+                tenant: *tenant,
+                group,
+                count: h.count(),
+                p50: h.percentile(50.0),
+                p99: h.percentile(99.0),
+                p999: h.percentile(99.9),
+                max: h.max(),
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.tenant, r.group));
+        rows
+    }
+}
+
+/// Bytes appended per log entry in the tenant mix.
+const MIX_LOG_ENTRY: usize = 64;
+
+/// Drives a deterministic multi-tenant service mix through one DPU and
+/// returns the per-tenant SLO digests plus the completion instant.
+///
+/// Tenants round-robin on the shared device (so they contend for the same
+/// LSM, tree, and log — the interference an operator's SLO dashboard
+/// exists to catch), and each tenant has a personality by index: KV-heavy
+/// (`t % 3 == 0`), tree-heavy (`t % 3 == 1`), log-heavy (`t % 3 == 2`).
+/// Every op runs through the traced dispatch path, so `rec` accumulates
+/// the same spans/hops a production flight recorder would.
+pub fn run_tenant_mix(
+    dpu: &mut HyperionDpu,
+    tenants: u32,
+    requests_per_tenant: u64,
+    start: Ns,
+    rec: &mut Recorder,
+) -> Result<(SloTracker, Ns), ServiceError> {
+    assert!(tenants > 0, "need at least one tenant");
+    let mut slo = SloTracker::new();
+    let mut log_tail: Vec<Option<u64>> = vec![None; tenants as usize];
+    let mut now = start;
+    for i in 0..requests_per_tenant {
+        for t in 0..tenants {
+            let k = i * tenants as u64 + t as u64;
+            let op: ServiceOp = match t % 3 {
+                0 => {
+                    // KV on the KV-SSD namespace: every op pays real
+                    // device time (memtable hits would be free).
+                    if i % 2 == 0 {
+                        KvOp::SsdPut {
+                            key: k.to_le_bytes().to_vec(),
+                            value: Bytes::from(vec![t as u8; 128]),
+                        }
+                        .into()
+                    } else {
+                        // Read back this tenant's previous put.
+                        KvOp::SsdGet {
+                            key: (k - tenants as u64).to_le_bytes().to_vec(),
+                        }
+                        .into()
+                    }
+                }
+                1 => {
+                    if i % 2 == 0 {
+                        TreeOp::Insert {
+                            key: k,
+                            value: k * 7,
+                        }
+                        .into()
+                    } else {
+                        TreeOp::Lookup {
+                            key: k - tenants as u64,
+                        }
+                        .into()
+                    }
+                }
+                _ => match (i % 2, log_tail[t as usize]) {
+                    (1, Some(position)) => LogOp::Read { position }.into(),
+                    _ => LogOp::Append {
+                        data: Bytes::from(vec![t as u8; MIX_LOG_ENTRY]),
+                    }
+                    .into(),
+                },
+            };
+            let group = op.group();
+            let (resp, done) = dpu.dispatch_traced(now, op, rec)?;
+            if let ServiceResponse::Appended { position } = resp {
+                log_tail[t as usize] = Some(position);
+            }
+            slo.observe(t, group, done.saturating_sub(now));
+            now = done;
+        }
+    }
+    Ok((slo, now))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +275,46 @@ mod tests {
             "resident p99.9 must not move"
         );
         assert_eq!(alone.resident_latency.max(), crowded.resident_latency.max());
+    }
+
+    #[test]
+    fn slo_tracker_digests_sorted_per_tenant_group() {
+        let mut s = SloTracker::new();
+        s.observe(1, "tree", Ns(500));
+        s.observe(0, "kv", Ns(100));
+        s.observe(0, "kv", Ns(300));
+        s.observe(0, "log", Ns(200));
+        let d = s.digest();
+        let keys: Vec<(u32, &str)> = d.iter().map(|r| (r.tenant, r.group)).collect();
+        assert_eq!(keys, vec![(0, "kv"), (0, "log"), (1, "tree")]);
+        assert_eq!(d[0].count, 2);
+        assert!(d[0].p50 <= d[0].p99 && d[0].p99 <= d[0].p999);
+        assert_eq!(d[0].max, 300);
+    }
+
+    #[test]
+    fn tenant_mix_is_deterministic_and_covers_all_groups() {
+        let run = || {
+            let mut dpu = crate::dpu::DpuBuilder::new().auth_key(KEY).build();
+            let t = dpu.boot(Ns::ZERO).unwrap();
+            let mut rec = Recorder::new("slo");
+            let (slo, end) = run_tenant_mix(&mut dpu, 3, 40, t, &mut rec).unwrap();
+            assert_eq!(rec.open_spans(), 0);
+            (slo.digest(), end)
+        };
+        let (a, end_a) = run();
+        let (b, end_b) = run();
+        assert_eq!(a, b, "same seed, same digests");
+        assert_eq!(end_a, end_b);
+        let groups: Vec<(u32, &str)> = a.iter().map(|r| (r.tenant, r.group)).collect();
+        assert_eq!(groups, vec![(0, "kv"), (1, "tree"), (2, "log")]);
+        for row in &a {
+            assert_eq!(row.count, 40, "{}: every request observed", row.group);
+            // Memtable hits can be free (0 ns); the percentiles must
+            // still be ordered and bounded by the observed max.
+            assert!(row.p50 <= row.p99 && row.p99 <= row.p999 && row.p999 <= row.max);
+        }
+        // Storage-backed groups pay real latency.
+        assert!(a.iter().any(|r| r.p999 > 0));
     }
 }

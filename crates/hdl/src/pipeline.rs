@@ -14,6 +14,7 @@ use hyperion_fabric::resources::ResourceBudget;
 use hyperion_sim::energy::Pj;
 use hyperion_sim::resource::Resource;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::dataflow::{Schedule, Unit};
 
@@ -183,6 +184,28 @@ impl HwPipeline {
         issued + self.latency()
     }
 
+    /// Queue wait an item arriving at `now` would see at the intake before
+    /// the pipeline can issue it (zero when the intake is free).
+    pub fn intake_wait(&self, now: Ns) -> Ns {
+        self.intake.earliest_start(now).saturating_sub(now)
+    }
+
+    /// [`HwPipeline::admit`] with a [`Component::Fabric`] span labelled
+    /// `label` over the item's traversal. When back-pressure at the
+    /// intake (initiation-interval spacing) delays issue, the span gets a
+    /// queueing edge so the critical-path analyzer can split intake stall
+    /// from pipeline latency.
+    pub fn admit_traced(&mut self, label: &'static str, now: Ns, rec: &mut Recorder) -> Ns {
+        let wait = self.intake_wait(now);
+        let span = rec.open(Component::Fabric, label, now);
+        if wait > Ns::ZERO {
+            rec.queue_edge(span, now + wait);
+        }
+        let done = self.admit(now);
+        rec.close(span, done);
+        done
+    }
+
     /// Executes one item functionally *and* temporally: runs the verified
     /// program in `vm` over `ctx` and returns the execution result with
     /// the pipeline completion time.
@@ -231,6 +254,24 @@ mod tests {
         // Items are II (= 1 cycle = 4 ns) apart, not a full latency apart.
         assert_eq!(second - first, Ns(4));
         assert_eq!(p.items(), 2);
+    }
+
+    #[test]
+    fn admit_traced_marks_intake_backpressure() {
+        let mut p = pipeline("mov r0, 0\nexit", 0);
+        let mut rec = Recorder::new("hdl-unit");
+        let first = p.admit_traced("kernel:item", Ns::ZERO, &mut rec);
+        // Second item at the same instant stalls one II at the intake.
+        let second = p.admit_traced("kernel:item", Ns::ZERO, &mut rec);
+        assert!(second > first);
+        assert_eq!(rec.spans().len(), 2);
+        assert!(rec
+            .queue_edge_of(hyperion_telemetry::SpanId::index(0))
+            .is_none());
+        assert_eq!(
+            rec.queue_edge_of(hyperion_telemetry::SpanId::index(1)),
+            Some(Ns(4))
+        );
     }
 
     #[test]

@@ -245,7 +245,11 @@ impl Transport {
     }
 
     /// [`Transport::send`] with a telemetry span covering the delivery
-    /// (endpoint processing + wire + extra rounds).
+    /// (endpoint processing + wire + extra rounds). When the protocol
+    /// burns control round trips before the tail of the data can land
+    /// (TCP slow-start windows, Homa's grant round), the span gets a
+    /// queueing edge of that length: the head of the delivery was spent
+    /// waiting on the protocol, not moving payload bytes.
     pub fn send_traced(
         &self,
         net: &mut Network,
@@ -256,6 +260,10 @@ impl Transport {
         rec: &mut Recorder,
     ) -> Result<Delivery, NetError> {
         let span = rec.open(Component::Net, self.kind.send_label(), now);
+        let rounds = self.extra_rounds(bytes);
+        if rounds > 0 {
+            rec.queue_edge(span, now + net.base_latency(64) * rounds);
+        }
         match self.send(net, from, to, now, bytes) {
             Ok(d) => {
                 rec.close(span, d.done);

@@ -307,7 +307,9 @@ impl NvmeDevice {
     }
 
     /// [`NvmeDevice::submit`] with a telemetry span over the command and a
-    /// queue-depth gauge sampled at submission.
+    /// queue-depth gauge sampled at submission. Page-addressed commands
+    /// whose target die is busy get a queueing edge on the span, so the
+    /// critical-path analyzer can split die contention from media time.
     pub fn submit_traced(
         &mut self,
         cmd: Command,
@@ -316,6 +318,15 @@ impl NvmeDevice {
     ) -> Result<Completion, NvmeError> {
         rec.gauge("nvme:queue_depth", self.queue_depth_at(now) as u64);
         let span = rec.open(Component::Nvme, cmd.label(), now);
+        // The command reaches the flash after controller overhead; only
+        // LBA-addressed ops map to a die we can query up front.
+        if let Command::Read { lba, .. } | Command::Write { lba, .. } = &cmd {
+            let arrive = now + params::CONTROLLER_OVERHEAD;
+            let wait = self.flash.queue_wait(Self::page_of(*lba), arrive);
+            if wait > Ns::ZERO {
+                rec.queue_edge(span, arrive + wait);
+            }
+        }
         match self.submit(cmd, now) {
             Ok(c) => {
                 rec.close(span, c.done);

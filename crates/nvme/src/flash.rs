@@ -92,6 +92,14 @@ impl FlashArray {
         }
     }
 
+    /// Queue wait an operation on `page` arriving at `now` would see
+    /// before its die frees up (zero when the die is idle). Used by the
+    /// traced submission path to emit queueing edges.
+    pub fn queue_wait(&self, page: u64, now: Ns) -> Ns {
+        let (_, die) = self.locate(page);
+        self.dies[die].earliest_start(now).saturating_sub(now)
+    }
+
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.channels.len()

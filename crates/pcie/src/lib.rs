@@ -100,9 +100,15 @@ impl PcieLink {
 
     /// [`PcieLink::transfer`] with a telemetry span covering queueing,
     /// serialization, and the hop latency, plus a link queue-wait gauge.
+    /// A non-zero queue wait becomes a queueing edge on the span, so the
+    /// critical-path analyzer can split link occupancy from service.
     pub fn transfer_traced(&mut self, now: Ns, bytes: u64, rec: &mut Recorder) -> Ns {
-        rec.gauge("pcie:link_queue_wait_ns", self.queue_wait(now).0);
+        let wait = self.queue_wait(now);
+        rec.gauge("pcie:link_queue_wait_ns", wait.0);
         let span = rec.open(Component::Pcie, self.wire.name(), now);
+        if wait > Ns::ZERO {
+            rec.queue_edge(span, now + wait);
+        }
         let done = self.transfer(now, bytes);
         rec.close(span, done);
         done

@@ -66,7 +66,10 @@ impl Histogram {
         let shift = index / SUBBUCKETS - 1;
         let sub = index % SUBBUCKETS;
         // Upper edge of the bucket (conservative percentile estimate).
-        ((SUBBUCKETS + sub + 1) << shift) - 1
+        // The topmost bucket's edge is 2^64, which overflows u64 — widen
+        // and saturate; callers clamp to the observed max anyway.
+        let edge = (((SUBBUCKETS + sub + 1) as u128) << shift) - 1;
+        edge.min(u64::MAX as u128) as u64
     }
 
     /// Records one sample.
@@ -306,9 +309,13 @@ mod tests {
     fn empty_histogram_is_benign() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.0), 0);
         assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+        assert_eq!(h.tail(), (0, 0, 0));
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
     }
 
     #[test]
@@ -317,7 +324,38 @@ mod tests {
         h.record(777);
         assert_eq!(h.percentile(0.0), 777);
         assert_eq!(h.percentile(50.0), 777);
+        assert_eq!(h.percentile(99.9), 777);
         assert_eq!(h.percentile(100.0), 777);
+        assert_eq!(h.tail(), (777, 777, 777));
+    }
+
+    #[test]
+    fn all_samples_in_the_top_bucket_clamp_to_the_observed_max() {
+        // Identical huge samples land in one log bucket whose upper edge
+        // is far above the sample; every percentile must clamp to the
+        // exact observed max, not the bucket edge.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(u64::MAX - 3);
+        }
+        assert_eq!(h.percentile(0.0), u64::MAX - 3);
+        assert_eq!(h.percentile(50.0), u64::MAX - 3);
+        assert_eq!(h.percentile(99.9), u64::MAX - 3);
+        assert_eq!(h.max(), u64::MAX - 3);
+    }
+
+    #[test]
+    fn p999_on_small_n_is_the_max_sample() {
+        // With N << 1000 the 99.9th-percentile rank rounds up to the last
+        // sample: p999 must equal the max, and the tail stays ordered.
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50_000] {
+            h.record(v);
+        }
+        let (p50, p99, p999) = h.tail();
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(p999, h.max());
+        assert_eq!(h.percentile(100.0), h.max());
     }
 
     #[test]

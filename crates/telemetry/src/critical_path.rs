@@ -1,0 +1,279 @@
+//! Critical-path analysis: attribute every nanosecond of a request to
+//! exactly one hop.
+//!
+//! A *request* is a root span (no parent). Its end-to-end latency is
+//! carved into elementary intervals at every start/end boundary of the
+//! spans nested beneath it, and each interval is attributed to the
+//! **deepest** covering span — the hop actually doing (or waiting for)
+//! the work at that instant. Siblings that overlap (the recorder allows
+//! it: a pre-simulated dispatch span can coexist with the RPC span that
+//! carries the same work) are broken deterministically in favour of the
+//! later-opened span. By construction the per-hop attributions of one
+//! request sum *exactly* to its end-to-end duration — the invariant the
+//! tier-1 suite pins.
+//!
+//! Queueing edges ([`crate::Recorder::queue_edge`]) refine the picture:
+//! the part of a hop's attributed time that falls before the span's
+//! `ready_at` instant is reported as `queue` time — the request was
+//! blocked on a resource (link occupancy, flash die, protocol grant
+//! rounds), not being served.
+
+use hyperion_sim::time::Ns;
+
+use crate::recorder::Recorder;
+use crate::span::Component;
+
+/// Exclusive ("self") time one hop contributed to a request's critical
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopAttribution {
+    /// Component the time attributes to.
+    pub component: Component,
+    /// Span label the time attributes to.
+    pub name: &'static str,
+    /// Nanoseconds attributed to this hop (queue time included).
+    pub ns: Ns,
+    /// Portion of `ns` the hop spent waiting on a resource rather than
+    /// being served. Always `<= ns`.
+    pub queue_ns: Ns,
+}
+
+/// One request's critical-path decomposition.
+#[derive(Debug, Clone)]
+pub struct RequestPath {
+    /// Index of the root span in [`Recorder::spans`].
+    pub root: usize,
+    /// Root span label (e.g. `"chase:offloaded"`).
+    pub name: &'static str,
+    /// Request start.
+    pub start: Ns,
+    /// Request end.
+    pub end: Ns,
+    /// Per-hop attributions, in order of first appearance on the path.
+    pub hops: Vec<HopAttribution>,
+}
+
+impl RequestPath {
+    /// End-to-end latency of the request.
+    pub fn duration(&self) -> Ns {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Sum of all hop attributions. Equals [`Self::duration`] — the
+    /// analyzer's core invariant.
+    pub fn attributed(&self) -> Ns {
+        Ns(self.hops.iter().map(|h| h.ns.0).sum())
+    }
+}
+
+/// Decomposes every closed root span in `rec` into a [`RequestPath`].
+///
+/// Open roots (and open descendants) are skipped: an interval without an
+/// end cannot be attributed. Output order follows the recorder's span
+/// table, so same-seed runs produce identical decompositions.
+pub fn analyze(rec: &Recorder) -> Vec<RequestPath> {
+    let spans = rec.spans();
+    // Parents always precede children in the table, so depth resolves in
+    // one forward pass.
+    let mut depth = vec![0usize; spans.len()];
+    for i in 0..spans.len() {
+        if let Some(p) = spans[i].parent {
+            depth[i] = depth[p.as_index()] + 1;
+        }
+    }
+
+    let mut paths = Vec::new();
+    for (r, root) in spans.iter().enumerate() {
+        if root.parent.is_some() {
+            continue;
+        }
+        let Some(root_end) = root.end else { continue };
+        if root_end <= root.start {
+            continue;
+        }
+
+        // Subtree membership, again a single forward pass.
+        let mut member = vec![false; spans.len()];
+        member[r] = true;
+        for i in r + 1..spans.len() {
+            if let Some(p) = spans[i].parent {
+                member[i] = member[p.as_index()];
+            }
+        }
+        let subtree: Vec<usize> = (r..spans.len())
+            .filter(|&i| member[i] && spans[i].end.is_some())
+            .collect();
+
+        // Elementary interval boundaries: every clipped start/end.
+        let mut bounds: Vec<u64> = Vec::with_capacity(subtree.len() * 2);
+        for &i in &subtree {
+            bounds.push(spans[i].start.0.clamp(root.start.0, root_end.0));
+            bounds.push(spans[i].end.unwrap().0.clamp(root.start.0, root_end.0));
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut hops: Vec<HopAttribution> = Vec::new();
+        for w in bounds.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a == b {
+                continue;
+            }
+            // Deepest covering span wins; ties go to the later-opened
+            // (higher-index) span.
+            let mut winner = r;
+            for &i in &subtree {
+                let s = spans[i].start.0.max(root.start.0);
+                let e = spans[i].end.unwrap().0.min(root_end.0);
+                if s <= a && b <= e && (depth[i], i) > (depth[winner], winner) {
+                    winner = i;
+                }
+            }
+            let queued = match rec.queue_edge_of(crate::SpanId::index(winner as u32)) {
+                Some(ready) => {
+                    let qend = ready.0.min(spans[winner].end.unwrap().0);
+                    qend.min(b).saturating_sub(spans[winner].start.0.max(a))
+                }
+                None => 0,
+            };
+            let key = (spans[winner].component, spans[winner].name);
+            match hops.iter_mut().find(|h| (h.component, h.name) == key) {
+                Some(h) => {
+                    h.ns.0 += b - a;
+                    h.queue_ns.0 += queued;
+                }
+                None => hops.push(HopAttribution {
+                    component: key.0,
+                    name: key.1,
+                    ns: Ns(b - a),
+                    queue_ns: Ns(queued),
+                }),
+            }
+        }
+
+        paths.push(RequestPath {
+            root: r,
+            name: root.name,
+            start: root.start,
+            end: root_end,
+            hops,
+        });
+    }
+    paths
+}
+
+/// Aggregates [`analyze`] across all requests: total exclusive time per
+/// `(component, hop)` pair, sorted by total descending (then component,
+/// then name — fully deterministic).
+pub fn summary(rec: &Recorder) -> Vec<HopAttribution> {
+    let mut agg: Vec<HopAttribution> = Vec::new();
+    for path in analyze(rec) {
+        for h in path.hops {
+            match agg
+                .iter_mut()
+                .find(|x| (x.component, x.name) == (h.component, h.name))
+            {
+                Some(x) => {
+                    x.ns.0 += h.ns.0;
+                    x.queue_ns.0 += h.queue_ns.0;
+                }
+                None => agg.push(h),
+            }
+        }
+    }
+    agg.sort_by(|a, b| {
+        b.ns.cmp(&a.ns)
+            .then(a.component.cmp(&b.component))
+            .then(a.name.cmp(b.name))
+    });
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root [0,100] -> child A [10,40] -> grandchild [20,30];
+    /// child B [35,80] overlaps A's tail; queue edge on B until 50.
+    fn sample() -> Recorder {
+        let mut rec = Recorder::new("cp-unit");
+        let root = rec.open(Component::Service, "req", Ns(0));
+        let a = rec.open(Component::Net, "send", Ns(10));
+        let g = rec.open(Component::Pcie, "dma", Ns(20));
+        rec.close(g, Ns(30));
+        rec.close(a, Ns(40));
+        let b = rec.open(Component::Nvme, "read", Ns(35));
+        rec.queue_edge(b, Ns(50));
+        rec.close(b, Ns(80));
+        rec.close(root, Ns(100));
+        rec
+    }
+
+    #[test]
+    fn attribution_sums_to_end_to_end_latency() {
+        let rec = sample();
+        for path in analyze(&rec) {
+            assert_eq!(path.attributed(), path.duration(), "{}", path.name);
+        }
+    }
+
+    #[test]
+    fn deepest_span_wins_and_later_sibling_breaks_ties() {
+        let rec = sample();
+        let paths = analyze(&rec);
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        let ns_of = |name: &str| p.hops.iter().find(|h| h.name == name).map(|h| h.ns.0);
+        // root keeps [0,10) and [80,100): 30 ns of self time.
+        assert_eq!(ns_of("req"), Some(30));
+        // A keeps [10,20) + [30,35): grandchild takes [20,30), the
+        // later-opened sibling B takes the overlap [35,40).
+        assert_eq!(ns_of("send"), Some(15));
+        assert_eq!(ns_of("dma"), Some(10));
+        // B owns [35,80).
+        assert_eq!(ns_of("read"), Some(45));
+    }
+
+    #[test]
+    fn queue_time_is_split_out_and_bounded() {
+        let rec = sample();
+        let p = &analyze(&rec)[0];
+        let b = p.hops.iter().find(|h| h.name == "read").unwrap();
+        // B waited from its start (35) until ready_at (50).
+        assert_eq!(b.queue_ns, Ns(15));
+        for h in &p.hops {
+            assert!(h.queue_ns <= h.ns);
+        }
+    }
+
+    #[test]
+    fn open_roots_are_skipped_and_summary_aggregates() {
+        let mut rec = sample();
+        rec.open(Component::Host, "dangling", Ns(200));
+        let paths = analyze(&rec);
+        assert_eq!(paths.len(), 1);
+
+        let s = summary(&rec);
+        assert_eq!(Ns(s.iter().map(|h| h.ns.0).sum()), Ns(100));
+        // Sorted by total descending: nvme:read (45) leads.
+        assert_eq!(s[0].name, "read");
+    }
+
+    #[test]
+    fn multiple_requests_each_balance() {
+        let mut rec = Recorder::new("multi");
+        for k in 0..3u64 {
+            let t0 = Ns(k * 1_000);
+            let root = rec.open(Component::Service, "op", t0);
+            let child = rec.open(Component::Net, "wire", Ns(t0.0 + 100));
+            rec.close(child, Ns(t0.0 + 400));
+            rec.close(root, Ns(t0.0 + 700));
+        }
+        let paths = analyze(&rec);
+        assert_eq!(paths.len(), 3);
+        for p in paths {
+            assert_eq!(p.attributed(), p.duration());
+            assert_eq!(p.duration(), Ns(700));
+        }
+    }
+}

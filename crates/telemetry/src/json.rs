@@ -41,12 +41,13 @@ fn escape(s: &str) -> String {
 ///   "ops": [ {"op","count","p50_ns","p99_ns","mean_ns","max_ns"} ],
 ///   "gauges": [ {"gauge","samples","min","max","mean","last"} ],
 ///   "energy_pj": [ {"component","total_pj"} ],
-///   "spans": [ {"id","parent","component","name","start_ns","end_ns"} ]
+///   "spans": [ {"id","parent","component","name","start_ns","end_ns"} ],
+///   "queue_edges": [ {"span","ready_ns"} ]
 /// }
 /// ```
 ///
-/// `hops`/`ops`/`gauges` are sorted by key; `spans` keep insertion order
-/// (parents precede children by construction).
+/// `hops`/`ops`/`gauges` are sorted by key; `spans` and `queue_edges`
+/// keep insertion order (parents precede children by construction).
 pub fn to_json(rec: &Recorder) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -149,6 +150,21 @@ pub fn to_json(rec: &Recorder) -> String {
         );
         out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
     }
+    out.push_str("  ],\n");
+
+    // Queueing edges, insertion order (spans are recorded in order, and
+    // each span carries at most one edge).
+    out.push_str("  \"queue_edges\": [\n");
+    let edges = rec.queue_edges();
+    for (i, (s, ready)) in edges.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"span\": {}, \"ready_ns\": {}}}",
+            s.as_index(),
+            ready.0
+        );
+        out.push_str(if i + 1 < edges.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -162,6 +178,7 @@ mod tests {
         let mut r = Recorder::new("unit");
         let outer = r.open(Component::Service, "kv.get", Ns(0));
         let inner = r.open(Component::Nvme, "flash:read", Ns(5));
+        r.queue_edge(inner, Ns(25));
         r.close(inner, Ns(105));
         r.close(outer, Ns(150));
         r.record_op("kv.get", Ns(150));
@@ -184,11 +201,13 @@ mod tests {
             "\"gauges\"",
             "\"energy_pj\"",
             "\"spans\"",
+            "\"queue_edges\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert!(j.contains("\"component\": \"nvme\""));
         assert!(j.contains("\"parent\": 0"));
+        assert!(j.contains("{\"span\": 1, \"ready_ns\": 25}"));
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   attribution;
 //! * [`json`] — a deterministic machine-readable dump (same seed →
 //!   byte-identical output) that `hyperion-bench`'s `report` binary turns
-//!   into "where did the nanoseconds go" tables.
+//!   into "where did the nanoseconds go" tables;
+//! * [`trace`] — Chrome/Perfetto `trace_event` export of the span tree,
+//!   openable directly in `ui.perfetto.dev`;
+//! * [`critical_path`] — per-request nanosecond attribution over span
+//!   nesting and queueing edges, with the invariant that per-hop self
+//!   times sum *exactly* to end-to-end latency.
 //!
 //! Everything here follows the workspace's simulation contract: no
 //! wall-clock reads, no ambient state, integer virtual time.
@@ -24,13 +29,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod json;
 pub mod power;
 pub mod recorder;
 pub mod span;
+pub mod trace;
 
+pub use critical_path::{HopAttribution, RequestPath};
 pub use recorder::{Gauge, HopRow, Recorder};
 pub use span::{Component, SpanId};
+pub use trace::to_perfetto;
 
 pub use hyperion_sim::stats::Histogram;
 pub use hyperion_sim::time::Ns;

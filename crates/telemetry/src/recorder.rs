@@ -111,6 +111,10 @@ pub struct Recorder {
     gauges: Vec<(&'static str, Gauge)>,
     /// Loose energy charges that arrived with no open span to attach to.
     loose_energy: Vec<(Component, Pj)>,
+    /// Queueing edges: `(span, ready_at)` — the work inside `span` could
+    /// not start before `ready_at` because an earlier request held the
+    /// resource (link occupancy, flash die, protocol grant rounds).
+    queue_edges: Vec<(SpanId, Ns)>,
 }
 
 impl Recorder {
@@ -124,6 +128,7 @@ impl Recorder {
             ops: Vec::new(),
             gauges: Vec::new(),
             loose_energy: Vec::new(),
+            queue_edges: Vec::new(),
         }
     }
 
@@ -246,6 +251,39 @@ impl Recorder {
         }
     }
 
+    /// Marks a queueing edge on an open or closed span: the work inside
+    /// `id` could not start before `ready_at` because an earlier request
+    /// held the underlying resource. The critical-path analyzer splits
+    /// the span's attributed time at this instant into queueing vs.
+    /// service; the Perfetto dump carries it as an argument.
+    ///
+    /// Edges on spans past the retention bound are dropped (there is no
+    /// span record to anchor them to); a second edge on the same span
+    /// replaces the first (the latest resource wait wins).
+    pub fn queue_edge(&mut self, id: SpanId, ready_at: Ns) {
+        if id.as_index() >= self.spans.len() {
+            return;
+        }
+        if let Some(e) = self.queue_edges.iter_mut().find(|(s, _)| *s == id) {
+            e.1 = ready_at;
+            return;
+        }
+        self.queue_edges.push((id, ready_at));
+    }
+
+    /// Recorded queueing edges, in insertion order.
+    pub fn queue_edges(&self) -> &[(SpanId, Ns)] {
+        &self.queue_edges
+    }
+
+    /// The queueing edge on one span, if any.
+    pub fn queue_edge_of(&self, id: SpanId) -> Option<Ns> {
+        self.queue_edges
+            .iter()
+            .find(|(s, _)| *s == id)
+            .map(|(_, t)| *t)
+    }
+
     /// The retained span tree (insertion order; parents precede children).
     pub fn spans(&self) -> &[Span] {
         &self.spans
@@ -332,6 +370,12 @@ impl Recorder {
             let mut s = s.clone();
             s.parent = s.parent.map(|SpanId(p)| SpanId(p + base));
             self.spans.push(s);
+        }
+        for (SpanId(s), ready) in &other.queue_edges {
+            // Only edges whose rebased span survived the retention bound.
+            if ((*s + base) as usize) < self.spans.len() {
+                self.queue_edges.push((SpanId(s + base), *ready));
+            }
         }
         for (c, n, h, t, e) in &other.hops {
             let row = self.hop_entry(*c, n);
@@ -468,6 +512,24 @@ mod tests {
             a.component_energy(Component::Net),
             power::active_power(Component::Net).energy_over(Ns(400))
         );
+    }
+
+    #[test]
+    fn queue_edges_attach_and_rebase_on_merge() {
+        let mut a = Recorder::new("a");
+        let s = a.open(Component::Pcie, "pcie-x4-0", Ns(100));
+        a.queue_edge(s, Ns(140));
+        a.queue_edge(s, Ns(150)); // latest wait wins
+        a.close(s, Ns(200));
+        assert_eq!(a.queue_edge_of(s), Some(Ns(150)));
+        let mut b = Recorder::new("b");
+        let sb = b.open(Component::Nvme, "nvme:read", Ns(0));
+        b.queue_edge(sb, Ns(30));
+        b.close(sb, Ns(90));
+        a.merge(&b);
+        // The merged edge re-anchors to the rebased span id.
+        assert_eq!(a.queue_edge_of(SpanId::index(1)), Some(Ns(30)));
+        assert_eq!(a.queue_edges().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Chrome/Perfetto `trace_event` export of a [`Recorder`]'s span tree.
+//!
+//! [`to_perfetto`] renders the retained spans as a JSON object the
+//! Perfetto UI (`ui.perfetto.dev`) and `chrome://tracing` open directly:
+//! one process per recorder, one track (thread) per [`Component`], and a
+//! complete (`"ph": "X"`) event per closed span. Timestamps come straight
+//! off the virtual clock — `ts`/`dur` are microseconds with exactly three
+//! decimal places, i.e. nanosecond resolution — so two same-seed runs
+//! export byte-identical traces (the same determinism contract as
+//! [`crate::json`]).
+//!
+//! Each event carries the span's recorder id and parent id in `args`, and
+//! spans with a queueing edge ([`crate::Recorder::queue_edge`]) carry
+//! `queue_ns`: the head of the span that was resource wait, not service.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Recorder;
+use crate::span::Component;
+
+/// Track (tid) assignment: the component's position in [`Component::ALL`].
+fn track_of(c: Component) -> usize {
+    Component::ALL.iter().position(|&x| x == c).unwrap_or(0)
+}
+
+/// Fixed-precision microseconds: nanoseconds rendered as `micros.nnn`.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Escapes a string for a JSON literal (same rules as [`crate::json`]).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the recorder's span tree as Chrome `trace_event` JSON.
+///
+/// Layout: `process_name`/`thread_name` metadata events first (the
+/// process is the run label; one named thread per component that recorded
+/// at least one span, in [`Component::ALL`] order), then one `"X"` event
+/// per *closed* span in recorder insertion order. Open spans are skipped:
+/// they have no duration and a well-formed run closes everything.
+pub fn to_perfetto(rec: &Recorder) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n");
+    let mut events: Vec<String> = Vec::new();
+
+    events.push(format!(
+        "    {{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \"args\": {{\"name\": \"{}\"}}}}",
+        escape(rec.label())
+    ));
+    for &c in Component::ALL.iter() {
+        if rec.spans().iter().any(|s| s.component == c) {
+            events.push(format!(
+                "    {{\"ph\": \"M\", \"pid\": 1, \"tid\": {}, \"name\": \"thread_name\", \"args\": {{\"name\": \"{}\"}}}}",
+                track_of(c),
+                c.name()
+            ));
+        }
+    }
+
+    for (i, s) in rec.spans().iter().enumerate() {
+        let Some(end) = s.end else { continue };
+        let parent = match s.parent {
+            Some(p) => p.as_index().to_string(),
+            None => "null".to_string(),
+        };
+        let mut args = format!("\"id\": {i}, \"parent\": {parent}");
+        if let Some(ready) = rec.queue_edge_of(crate::SpanId::index(i as u32)) {
+            let queued = ready.saturating_sub(s.start).0.min(s.duration().0);
+            let _ = write!(args, ", \"queue_ns\": {queued}");
+        }
+        events.push(format!(
+            "    {{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"name\": \"{}\", \"cat\": \"{}\", \"args\": {{{args}}}}}",
+            track_of(s.component),
+            micros(s.start.0),
+            micros(end.0.saturating_sub(s.start.0)),
+            escape(s.name),
+            s.component.name(),
+        ));
+    }
+
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_sim::time::Ns;
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new("trace-unit");
+        let outer = r.open(Component::Service, "kv.get", Ns(1_500));
+        let inner = r.open(Component::Nvme, "flash:read", Ns(2_000));
+        r.queue_edge(inner, Ns(2_250));
+        r.close(inner, Ns(9_000));
+        r.close(outer, Ns(10_000));
+        r
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(to_perfetto(&sample()), to_perfetto(&sample()));
+    }
+
+    #[test]
+    fn export_names_tracks_and_events() {
+        let t = to_perfetto(&sample());
+        assert!(t.contains("\"displayTimeUnit\": \"ns\""));
+        assert!(t.contains("\"process_name\""));
+        assert!(t.contains("{\"name\": \"service\"}"));
+        assert!(t.contains("{\"name\": \"nvme\"}"));
+        // No spans on the net track: no thread metadata for it.
+        assert!(!t.contains("{\"name\": \"net\"}"));
+        assert!(t.contains("\"name\": \"kv.get\""));
+        // 1500 ns start -> 1.500 us, 8500 ns duration -> 8.500 us.
+        assert!(t.contains("\"ts\": 1.500"), "{t}");
+        assert!(t.contains("\"dur\": 8.500"), "{t}");
+        assert!(t.contains("\"queue_ns\": 250"), "{t}");
+        assert!(t.contains("\"parent\": 0"));
+    }
+
+    #[test]
+    fn open_spans_are_skipped() {
+        let mut r = Recorder::new("open");
+        r.open(Component::Net, "udp:send", Ns(0));
+        let t = to_perfetto(&r);
+        assert!(!t.contains("\"ph\": \"X\""));
+    }
+}

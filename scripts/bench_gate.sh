@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Performance-regression gate: compare a fresh `report --json` snapshot
+# against the committed BENCH_report.json baseline.
+#
+# Run from the repository root:
+#   ./scripts/bench_gate.sh [current.json] [--tolerance 0.15]
+#
+# With no snapshot argument the script generates one (release build: the
+# simulator is deterministic, but debug timing of the *harness* is slow).
+# Exits non-zero on any per-hop/per-op p99 regression beyond the
+# tolerance, or when the committed baseline has gone stale. Regenerate
+# the baseline after an intentional performance change with:
+#   cargo run --release -p hyperion-bench --bin report -- --json > BENCH_report.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_report.json
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate.sh: no committed $BASELINE baseline" >&2
+    exit 2
+fi
+
+CURRENT=""
+ARGS=()
+for a in "$@"; do
+    case "$a" in
+        --*) ARGS+=("$a") ;;
+        *) if [[ -z "$CURRENT" && "${PREV:-}" != "--tolerance" ]]; then CURRENT="$a"; else ARGS+=("$a"); fi ;;
+    esac
+    PREV="$a"
+done
+
+if [[ -z "$CURRENT" ]]; then
+    CURRENT="$(mktemp)"
+    trap 'rm -f "$CURRENT"' EXIT
+    echo "==> report --json (fresh snapshot)"
+    cargo run --release -q -p hyperion-bench --bin report -- --json > "$CURRENT"
+fi
+
+echo "==> bench_gate $BASELINE"
+cargo run --release -q -p hyperion-bench --bin bench_gate -- "$BASELINE" "$CURRENT" ${ARGS[@]+"${ARGS[@]}"}

@@ -15,4 +15,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> report --json -> BENCH_report.json + bench gate"
+SNAPSHOT="$(mktemp)"
+trap 'rm -f "$SNAPSHOT"' EXIT
+cargo run --release -q -p hyperion-bench --bin report -- --json > "$SNAPSHOT"
+./scripts/bench_gate.sh "$SNAPSHOT"
+
 echo "All checks passed."
