@@ -13,7 +13,8 @@
 //!
 //! `--json` prints a JSON array of the selected experiments' telemetry
 //! dumps (deterministic: same build + same selection → byte-identical
-//! output) and skips the human-readable tables. `--trace` prints the
+//! output) and skips the human-readable tables. `e13` (fault injection)
+//! only runs when named explicitly, never in the default selection. `--trace` prints the
 //! first selected experiment's span tree as `trace_event` JSON — pipe it
 //! to a file and open it at `ui.perfetto.dev`. `--slo` runs the
 //! deterministic multi-tenant mix and prints its digest table.
@@ -29,6 +30,10 @@ fn main() {
     let slo_only = raw.iter().any(|a| a == "--slo");
     let args: Vec<String> = raw.into_iter().filter(|a| !a.starts_with('-')).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    // E13 (tail latency under injected faults) is explicit-only: the
+    // committed BENCH_report.json baseline and the perf gate cover the
+    // no-fault datapath, so the default selection must not include it.
+    let want_faults = args.iter().any(|a| a == "e13");
 
     if slo_only {
         let (table, rec) = slo::run();
@@ -55,6 +60,9 @@ fn main() {
     }
     if want("e7") {
         recs.push(experiments::e7::telemetry());
+    }
+    if want_faults {
+        recs.push(experiments::e13::telemetry());
     }
 
     if trace {
@@ -108,6 +116,9 @@ fn main() {
     }
     if want("e12") {
         tables.push(("e12", experiments::e12::run()));
+    }
+    if want_faults {
+        tables.push(("e13", experiments::e13::run()));
     }
     if want("f2") || want("figure2") {
         tables.push(("f2", experiments::figure2::run()));

@@ -26,6 +26,9 @@ pub fn tables(rec: &Recorder) -> Vec<Table> {
     if let Some(g) = gauge_table(rec) {
         out.push(g);
     }
+    if let Some(c) = counter_table(rec) {
+        out.push(c);
+    }
     if let Some(c) = critical_path_table(rec) {
         out.push(c);
     }
@@ -149,6 +152,21 @@ pub fn gauge_table(rec: &Recorder) -> Option<Table> {
     }
 }
 
+/// Event counters (faults injected, retries, remaps); `None` when the
+/// run counted nothing. Rows sort by name for deterministic output.
+pub fn counter_table(rec: &Recorder) -> Option<Table> {
+    let mut rows: Vec<(&str, u64)> = rec.counters().collect();
+    if rows.is_empty() {
+        return None;
+    }
+    rows.sort_by_key(|&(name, _)| name);
+    let mut t = Table::new(format!("{} — counters", rec.label()), &["counter", "count"]);
+    for (name, v) in rows {
+        t.row(vec![name.to_string(), v.to_string()]);
+    }
+    Some(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +194,17 @@ mod tests {
         let t = energy_table(&sample_rec());
         let total: f64 = (0..t.rows.len()).map(|i| t.cell(i, 2).percent()).sum();
         assert!((99.0..=101.0).contains(&total), "shares sum {total}");
+    }
+
+    #[test]
+    fn counter_rows_sort_by_name() {
+        let mut r = sample_rec();
+        r.bump("net:timeouts");
+        r.count("net:retries", 3);
+        let t = counter_table(&r).expect("counters present");
+        assert_eq!(t.rows[0], vec!["net:retries".to_string(), "3".to_string()]);
+        assert_eq!(t.rows[1], vec!["net:timeouts".to_string(), "1".to_string()]);
+        assert!(counter_table(&sample_rec()).is_none());
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //! initiator and the target agree on bytes.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use hyperion_net::transport::{Endpoint, RetryPolicy, Transport};
+use hyperion_net::{NetError, Network};
 use hyperion_nvme::device::{Command, NvmeDevice, NvmeError, Response};
+use hyperion_sim::fault::FaultPlan;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Component, Recorder};
 
 /// Capsule opcode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +75,10 @@ pub enum FabricStatus {
     LbaRange,
     /// Malformed capsule.
     InvalidField,
+    /// Unrecoverable media error: the device retried the read and could
+    /// not recover the data. Retrying the command does not help; the
+    /// namespace keeps serving other LBAs (degraded, not down).
+    MediaError,
 }
 
 /// A response capsule.
@@ -144,6 +152,7 @@ impl ResponseCapsule {
             FabricStatus::Ok => 0,
             FabricStatus::LbaRange => 1,
             FabricStatus::InvalidField => 2,
+            FabricStatus::MediaError => 3,
         });
         out.put_u8(0);
         out.put_u16_le(0);
@@ -164,6 +173,7 @@ impl ResponseCapsule {
         let status = match wire[4] {
             0 => FabricStatus::Ok,
             1 => FabricStatus::LbaRange,
+            3 => FabricStatus::MediaError,
             _ => FabricStatus::InvalidField,
         };
         let dlen = u32::from_le_bytes(wire[8..12].try_into().ok()?) as usize;
@@ -202,6 +212,17 @@ impl NvmeOfTarget {
     /// Commands served so far.
     pub fn served(&self) -> u64 {
         self.served
+    }
+
+    /// Installs a fault plan on the backing namespace (see the
+    /// `hyperion-nvme` fault sites).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.device.set_fault_plan(plan);
+    }
+
+    /// The backing device (e.g. to inspect degraded state after faults).
+    pub fn device(&self) -> &NvmeDevice {
+        &self.device
     }
 
     /// Executes one raw capsule arriving at `now`; returns the encoded
@@ -270,6 +291,14 @@ impl NvmeOfTarget {
                 },
                 now,
             ),
+            Err(NvmeError::MediaError { .. }) => (
+                ResponseCapsule {
+                    cid,
+                    status: FabricStatus::MediaError,
+                    data: Bytes::new(),
+                },
+                now,
+            ),
             Err(_) => (
                 ResponseCapsule {
                     cid,
@@ -296,18 +325,49 @@ impl Default for Initiator {
     }
 }
 
+/// How one fabric command exchange finished.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricExchange {
+    /// When the response capsule reached the initiator.
+    pub done: Ns,
+    /// When the winning attempt was issued (`> now` iff retries pushed
+    /// the command out — time the critical path spends waiting, not
+    /// working).
+    pub started: Ns,
+    /// Command attempts it took (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// When retrying after `e` helps, the earliest instant the next attempt
+/// may be issued (timeout for silent drops, NACK/link-return otherwise,
+/// plus backoff); `None` when the error is fatal to the exchange.
+fn next_attempt_at(e: &NetError, t: Ns, policy: &RetryPolicy, attempt: u32) -> Option<Ns> {
+    match e {
+        NetError::Dropped => Some(t + policy.timeout + policy.backoff(attempt)),
+        NetError::Corrupted { delivered_at } => {
+            Some((*delivered_at).max(t) + policy.backoff(attempt))
+        }
+        NetError::LinkDown { until } => Some((*until).max(t) + policy.backoff(attempt)),
+        _ => None,
+    }
+}
+
 impl Initiator {
     /// Creates an initiator.
     pub fn new() -> Initiator {
         Initiator { next_cid: 1 }
     }
 
-    /// Builds a read capsule.
-    pub fn read(&mut self, lba: u64, blocks: u32) -> CommandCapsule {
+    fn alloc_cid(&mut self) -> u16 {
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
+        cid
+    }
+
+    /// Builds a read capsule.
+    pub fn read(&mut self, lba: u64, blocks: u32) -> CommandCapsule {
         CommandCapsule {
-            cid,
+            cid: self.alloc_cid(),
             opcode: FabricOpcode::Read,
             lba,
             blocks,
@@ -317,15 +377,157 @@ impl Initiator {
 
     /// Builds a write capsule.
     pub fn write(&mut self, lba: u64, data: Bytes) -> CommandCapsule {
-        let cid = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1);
         CommandCapsule {
-            cid,
+            cid: self.alloc_cid(),
             opcode: FabricOpcode::Write,
             lba,
             blocks: 0,
             data,
         }
+    }
+
+    /// Drives one command exchange (request over the fabric, execute on
+    /// the target, response back) to completion under `policy`.
+    ///
+    /// Either leg failing re-issues the whole command — NVMe-oF command
+    /// retry sits above transport loss — after the policy's timeout (for
+    /// silent drops) or the failure's own resolution instant, plus capped
+    /// exponential backoff. Each retry re-arms with a fresh `cid` so a
+    /// stale response cannot be confused with the live attempt. Gives up
+    /// with [`NetError::Exhausted`] after `policy.max_attempts` attempts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn exchange(
+        &mut self,
+        net: &mut Network,
+        tr: &Transport,
+        client: Endpoint,
+        target_ep: Endpoint,
+        target: &mut NvmeOfTarget,
+        mut capsule: CommandCapsule,
+        now: Ns,
+        policy: &RetryPolicy,
+    ) -> Result<(ResponseCapsule, FabricExchange), NetError> {
+        self.exchange_inner(
+            net,
+            tr,
+            client,
+            target_ep,
+            target,
+            &mut capsule,
+            now,
+            policy,
+            None,
+        )
+    }
+
+    /// [`Initiator::exchange`] with telemetry: an `nvmeof` span over the
+    /// whole session, per-failure retry counters, and a queueing edge when
+    /// retries delayed the start of the winning attempt.
+    #[allow(clippy::too_many_arguments)]
+    pub fn exchange_traced(
+        &mut self,
+        net: &mut Network,
+        tr: &Transport,
+        client: Endpoint,
+        target_ep: Endpoint,
+        target: &mut NvmeOfTarget,
+        mut capsule: CommandCapsule,
+        now: Ns,
+        policy: &RetryPolicy,
+        rec: &mut Recorder,
+    ) -> Result<(ResponseCapsule, FabricExchange), NetError> {
+        let label = match capsule.opcode {
+            FabricOpcode::Read => "nvmeof:read",
+            FabricOpcode::Write => "nvmeof:write",
+            FabricOpcode::Flush => "nvmeof:flush",
+        };
+        let span = rec.open(Component::Service, label, now);
+        let out = self.exchange_inner(
+            net,
+            tr,
+            client,
+            target_ep,
+            target,
+            &mut capsule,
+            now,
+            policy,
+            Some(rec),
+        );
+        match &out {
+            Ok((_, x)) => {
+                if x.attempts > 1 {
+                    rec.count("nvmeof:retries", (x.attempts - 1) as u64);
+                }
+                if x.started > now {
+                    rec.queue_edge(span, x.started);
+                }
+                rec.close(span, x.done);
+            }
+            Err(_) => {
+                rec.bump("nvmeof:gave_up");
+                rec.close(span, now);
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_inner(
+        &mut self,
+        net: &mut Network,
+        tr: &Transport,
+        client: Endpoint,
+        target_ep: Endpoint,
+        target: &mut NvmeOfTarget,
+        capsule: &mut CommandCapsule,
+        now: Ns,
+        policy: &RetryPolicy,
+        mut rec: Option<&mut Recorder>,
+    ) -> Result<(ResponseCapsule, FabricExchange), NetError> {
+        let mut t = now;
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                capsule.cid = self.alloc_cid();
+            }
+            let err = match tr.send(net, client, target_ep, t, capsule.wire_len()) {
+                Ok(d) => {
+                    let (resp_wire, ready) = target.handle(&capsule.encode(), d.done);
+                    let resp =
+                        ResponseCapsule::decode(&resp_wire).expect("target responses decode");
+                    match tr.send(net, target_ep, client, ready, resp.wire_len()) {
+                        Ok(back) => {
+                            return Ok((
+                                resp,
+                                FabricExchange {
+                                    done: back.done,
+                                    started: t,
+                                    attempts: attempt + 1,
+                                },
+                            ));
+                        }
+                        Err(e) => e,
+                    }
+                }
+                Err(e) => e,
+            };
+            match next_attempt_at(&err, t, policy, attempt) {
+                Some(next) => {
+                    if let Some(rec) = rec.as_deref_mut() {
+                        match &err {
+                            NetError::Dropped => rec.bump("nvmeof:timeouts"),
+                            NetError::Corrupted { .. } => rec.bump("nvmeof:corrupt"),
+                            NetError::LinkDown { .. } => rec.bump("nvmeof:link_down"),
+                            _ => {}
+                        }
+                    }
+                    t = next;
+                }
+                None => return Err(err),
+            }
+        }
+        Err(NetError::Exhausted {
+            attempts: policy.max_attempts,
+        })
     }
 }
 
@@ -392,6 +594,111 @@ mod tests {
         let (resp, _) = target.handle(&ini.read(20, 1).encode(), Ns::ZERO);
         let resp = ResponseCapsule::decode(&resp).expect("decodable");
         assert_eq!(resp.status, FabricStatus::LbaRange);
+    }
+
+    #[test]
+    fn media_error_travels_the_wire_as_typed_status() {
+        use hyperion_nvme::FAULT_NVME_MEDIA_READ;
+        let mut target = NvmeOfTarget::new(1 << 16);
+        let mut ini = Initiator::new();
+        // Seed data, then make every media sense fail: the device's own
+        // retry also fails and the target must answer MediaError.
+        let w = ini.write(9, Bytes::from(vec![3u8; 4096]));
+        let (_, t) = target.handle(&w.encode(), Ns::ZERO);
+        target.set_fault_plan(FaultPlan::seeded(1).window(
+            FAULT_NVME_MEDIA_READ,
+            Ns::ZERO,
+            Ns(u64::MAX),
+        ));
+        let (resp, _) = target.handle(&ini.read(9, 1).encode(), t);
+        let resp = ResponseCapsule::decode(&resp).expect("decodable");
+        assert_eq!(resp.status, FabricStatus::MediaError);
+        // The status round-trips through the capsule encoding.
+        let again = ResponseCapsule::decode(&resp.encode()).expect("decodable");
+        assert_eq!(again.status, FabricStatus::MediaError);
+    }
+
+    #[test]
+    fn exchange_retries_through_fabric_loss() {
+        use hyperion_net::{RetryPolicy, FAULT_NET_DROP};
+        let mut net = Network::new();
+        let client = Endpoint::new(net.add_node(), EndpointKind::Kernel);
+        let dpu = Endpoint::new(net.add_node(), EndpointKind::Hardware);
+        net.set_fault_plan(
+            hyperion_sim::fault::FaultPlan::seeded(11).bernoulli(FAULT_NET_DROP, 0.5),
+        );
+        let tr = Transport::new(TransportKind::Tcp);
+        let mut target = NvmeOfTarget::new(1 << 16);
+        let mut ini = Initiator::new();
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            ..RetryPolicy::DEFAULT
+        };
+        let mut rec = hyperion_telemetry::Recorder::new("nvmeof");
+        let mut t = Ns::ZERO;
+        let mut retried = 0u32;
+        for i in 0..8u64 {
+            let capsule = ini.write(i, Bytes::from(vec![i as u8; 4096]));
+            let (resp, x) = ini
+                .exchange_traced(
+                    &mut net,
+                    &tr,
+                    client,
+                    dpu,
+                    &mut target,
+                    capsule,
+                    t,
+                    &policy,
+                    &mut rec,
+                )
+                .expect("bounded retry recovers at 50% loss");
+            assert_eq!(resp.status, FabricStatus::Ok);
+            assert!(x.attempts <= policy.max_attempts);
+            retried += x.attempts - 1;
+            t = x.done;
+        }
+        assert!(retried > 0, "50% loss must force at least one retry");
+        assert_eq!(rec.counter("nvmeof:retries"), retried as u64);
+        assert_eq!(rec.open_spans(), 0);
+        assert!(
+            !rec.queue_edges().is_empty(),
+            "retry waits must be queueing edges"
+        );
+    }
+
+    #[test]
+    fn exchange_gives_up_bounded_under_total_loss() {
+        use hyperion_net::{RetryPolicy, FAULT_NET_DROP};
+        let mut net = Network::new();
+        let client = Endpoint::new(net.add_node(), EndpointKind::Kernel);
+        let dpu = Endpoint::new(net.add_node(), EndpointKind::Hardware);
+        net.set_fault_plan(
+            hyperion_sim::fault::FaultPlan::seeded(3).bernoulli(FAULT_NET_DROP, 1.0),
+        );
+        let tr = Transport::new(TransportKind::Udp);
+        let mut target = NvmeOfTarget::new(1 << 16);
+        let mut ini = Initiator::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::DEFAULT
+        };
+        let mut rec = hyperion_telemetry::Recorder::new("nvmeof");
+        let capsule = ini.read(0, 1);
+        let out = ini.exchange_traced(
+            &mut net,
+            &tr,
+            client,
+            dpu,
+            &mut target,
+            capsule,
+            Ns::ZERO,
+            &policy,
+            &mut rec,
+        );
+        assert!(matches!(out, Err(NetError::Exhausted { attempts: 4 })));
+        assert_eq!(rec.counter("nvmeof:gave_up"), 1);
+        assert_eq!(rec.counter("nvmeof:timeouts"), 4);
+        assert_eq!(target.served(), 0, "nothing reached the target");
     }
 
     #[test]

@@ -169,6 +169,21 @@ pub enum ServiceError {
     NoSuchTable(String),
     /// Block-layer failure.
     Block(hyperion_storage::blockstore::BlockError),
+    /// A subsystem the op needs is not present on this DPU (e.g. the
+    /// boot sequence skipped it or it was taken offline). The request is
+    /// well-formed; a retry only helps after the subsystem returns.
+    Unavailable {
+        /// Which subsystem was missing.
+        what: &'static str,
+    },
+    /// The op completed degraded or hit a component running degraded
+    /// (e.g. an unrecoverable media error on a device that has already
+    /// remapped grown bad blocks). The service stays up; this request's
+    /// data could not be served faithfully.
+    Degraded {
+        /// Which component is degraded.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -182,6 +197,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Columnar(e) => write!(f, "columnar: {e}"),
             ServiceError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             ServiceError::Block(e) => write!(f, "block: {e}"),
+            ServiceError::Unavailable { what } => write!(f, "unavailable: {what}"),
+            ServiceError::Degraded { what } => write!(f, "degraded: {what}"),
         }
     }
 }
@@ -428,10 +445,15 @@ impl KvOp {
         rec: Option<&mut Recorder>,
     ) -> Result<(ServiceResponse, Ns), ServiceError> {
         dpu.require_ready().map_err(ServiceError::Dpu)?;
-        let kv_ssd_err = |e: hyperion_nvme::device::NvmeError| {
-            ServiceError::Block(hyperion_storage::blockstore::BlockError::Device(
+        let kv_ssd_err = |e: hyperion_nvme::device::NvmeError| match e {
+            // The device already retried and remapped what it could; the
+            // namespace keeps serving other keys.
+            hyperion_nvme::device::NvmeError::MediaError { .. } => ServiceError::Degraded {
+                what: "kv-ssd namespace media",
+            },
+            e => ServiceError::Block(hyperion_storage::blockstore::BlockError::Device(
                 e.to_string(),
-            ))
+            )),
         };
         match self {
             KvOp::Put { key, value } => {
@@ -494,14 +516,20 @@ impl TreeOp {
         dpu.require_ready().map_err(ServiceError::Dpu)?;
         match self {
             TreeOp::Insert { key, value } => {
-                let tree = dpu.btree.as_mut().expect("boot created the tree");
+                let tree = dpu
+                    .btree
+                    .as_mut()
+                    .ok_or(ServiceError::Unavailable { what: "btree" })?;
                 let t = tree
                     .insert(&mut dpu.blocks, key, value, now)
                     .map_err(ServiceError::Tree)?;
                 Ok((ServiceResponse::Ok, t))
             }
             TreeOp::Lookup { key } => {
-                let tree = dpu.btree.as_ref().expect("boot created the tree");
+                let tree = dpu
+                    .btree
+                    .as_ref()
+                    .ok_or(ServiceError::Unavailable { what: "btree" })?;
                 let (v, t) = tree
                     .get(&mut dpu.blocks, key, now)
                     .map_err(ServiceError::Tree)?;
@@ -563,7 +591,10 @@ impl FileOp {
         dpu.require_ready().map_err(ServiceError::Dpu)?;
         match self {
             FileOp::Read { path } => {
-                let fs = dpu.fs.as_ref().expect("boot formatted the fs");
+                let fs = dpu
+                    .fs
+                    .as_ref()
+                    .ok_or(ServiceError::Unavailable { what: "fs" })?;
                 let (data, t) = fs
                     .read_file(&mut dpu.blocks, &path, now)
                     .map_err(ServiceError::Fs)?;
@@ -863,6 +894,31 @@ mod tests {
         assert_eq!(spans[0].name, "kvssd.put");
         assert_eq!(spans[1].name, "nvme:kv_put");
         assert_eq!(spans[1].parent, Some(hyperion_telemetry::SpanId::index(0)));
+    }
+
+    #[test]
+    fn missing_subsystems_surface_typed_unavailable_not_panics() {
+        let mut dpu = booted();
+        let t = dpu.booted_at();
+        // Take the tree and fs offline: dispatch must degrade to a typed
+        // error instead of panicking on the old `expect` sites.
+        dpu.btree = None;
+        dpu.fs = None;
+        let tree = dpu.dispatch(t, TreeOp::Lookup { key: 1 });
+        assert!(matches!(
+            tree,
+            Err(ServiceError::Unavailable { what: "btree" })
+        ));
+        let ins = dpu.dispatch(t, TreeOp::Insert { key: 1, value: 2 });
+        assert!(matches!(
+            ins,
+            Err(ServiceError::Unavailable { what: "btree" })
+        ));
+        let file = dpu.dispatch(t, FileOp::Read { path: "/x".into() });
+        assert!(matches!(
+            file,
+            Err(ServiceError::Unavailable { what: "fs" })
+        ));
     }
 
     #[test]

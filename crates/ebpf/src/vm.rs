@@ -363,7 +363,13 @@ impl Vm {
         if insn.op & 0xf0 == op::END {
             // Endianness conversion: src bit selects to-BE (X) vs to-LE
             // (K); imm is the width. This model is little-endian, so
-            // to-LE truncates and to-BE swaps-then-truncates.
+            // to-LE truncates and to-BE swaps-then-truncates. The ABI
+            // defines END only in the ALU32 class (0xd0 in ALU64 is
+            // reserved); the verifier rejects the ALU64 form, so the
+            // runtime oracle must fault on it too, not execute it.
+            if is64 {
+                return Err(VmError::IllegalOpcode { pc, op: insn.op });
+            }
             let val = regs[insn.dst as usize];
             let to_be = insn.op & src::X != 0;
             let out = match (to_be, insn.imm) {
@@ -619,6 +625,81 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.ret, 10);
+    }
+
+    #[test]
+    fn mod32_by_zero_zero_extends_the_truncated_dst() {
+        // ABI edge: MOD by zero leaves dst unchanged — but a 32-bit op
+        // still writes back the *truncated* value, clearing the high
+        // half. The high bits must not survive.
+        let [lo, hi] = lddw(0, 0xFFFF_FFFF_0000_000A);
+        let r = run(
+            vec![
+                lo,
+                hi,
+                mov64_imm(1, 0),
+                {
+                    let mut i = alu64_reg(op::MOD, 0, 1);
+                    i.op = class::ALU32 | op::MOD | src::X;
+                    i
+                },
+                exit(),
+            ],
+            &mut [],
+        )
+        .unwrap();
+        assert_eq!(r.ret, 0x0000_000A);
+        // DIV32 by zero likewise yields a zero-extended 0.
+        let [lo, hi] = lddw(0, 0xFFFF_FFFF_0000_000A);
+        let r = run(
+            vec![
+                lo,
+                hi,
+                mov64_imm(1, 0),
+                {
+                    let mut i = alu64_reg(op::DIV, 0, 1);
+                    i.op = class::ALU32 | op::DIV | src::X;
+                    i
+                },
+                exit(),
+            ],
+            &mut [],
+        )
+        .unwrap();
+        assert_eq!(r.ret, 0);
+    }
+
+    #[test]
+    fn arsh32_shifts_the_sign_of_bit_31() {
+        // ABI edge: ARSH32 sign-extends from bit 31 of the low half, then
+        // zero-extends the 32-bit result — the high half must read 0 even
+        // though the 32-bit value was negative.
+        let [lo, hi] = lddw(0, 0x0000_0000_8000_0000);
+        let r = run(vec![lo, hi, alu32_imm(op::ARSH, 0, 4), exit()], &mut []).unwrap();
+        assert_eq!(r.ret, 0xF800_0000);
+        // Shift amounts mask to 5 bits in the 32-bit class: 33 acts as 1.
+        let [lo, hi] = lddw(0, 0x0000_0000_8000_0000);
+        let r = run(vec![lo, hi, alu32_imm(op::ARSH, 0, 33), exit()], &mut []).unwrap();
+        assert_eq!(r.ret, 0xC000_0000);
+    }
+
+    #[test]
+    fn alu64_end_is_illegal_in_vm_and_verifier() {
+        // Regression: the VM used to execute END before looking at the
+        // class bit, accepting the reserved ALU64 form the verifier (and
+        // the assembler) never admit. Oracle and verifier must agree.
+        let bad = Insn {
+            op: class::ALU64 | op::END | src::X,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 16,
+        };
+        let insns = vec![mov64_imm(0, 1), bad, exit()];
+        let err = run(insns.clone(), &mut []).unwrap_err();
+        assert!(matches!(err, VmError::IllegalOpcode { pc: 1, .. }));
+        let p = Program::new("t", insns, 0);
+        assert!(crate::verify(&p).is_err());
     }
 
     #[test]

@@ -140,6 +140,108 @@ fn format_err(e: VerifyError) -> String {
     format!("{e}")
 }
 
+/// ALU-only steps biased toward the ISA's edge semantics: DIV/MOD with
+/// zero-prone operands, 32-bit ops on registers with dirty high halves,
+/// ARSH around the sign bit, END at every width, over-wide shift counts.
+fn alu_edge_strategy() -> impl Strategy<Value = Vec<Insn>> {
+    prop_oneof![
+        // lddw a dirty-high-half constant so 32-bit ops must prove their
+        // zero-extension behaviour.
+        (0u8..6, any::<u32>())
+            .prop_map(|(d, lo)| { insn::lddw(d, 0xFFFF_FFFF_0000_0000 | lo as u64).to_vec() }),
+        // DIV/MOD in both classes; imm 0..3 makes by-zero common.
+        (0u8..6, 0u8..6, 0i32..3, any::<bool>(), any::<bool>()).prop_map(
+            |(d, s, imm, is_mod, is32)| {
+                let o = if is_mod { op::MOD } else { op::DIV };
+                let mut i = if imm % 2 == 0 {
+                    insn::alu64_imm(o, d, imm)
+                } else {
+                    insn::alu64_reg(o, d, s)
+                };
+                if is32 {
+                    i.op = (i.op & !0x07) | 0x04; // rewrite class to ALU32
+                }
+                vec![i]
+            }
+        ),
+        // Shifts (including ARSH) with counts past the width.
+        (0u8..6, 0i32..70, 0usize..3, any::<bool>()).prop_map(|(d, count, which, is32)| {
+            let ops = [op::LSH, op::RSH, op::ARSH];
+            let mut i = insn::alu64_imm(ops[which], d, count);
+            if is32 {
+                i.op = (i.op & !0x07) | 0x04;
+            }
+            vec![i]
+        }),
+        // Endianness conversions at every width, both directions.
+        (0u8..6, 0usize..3, any::<bool>()).prop_map(|(d, w, be)| {
+            let bits = [16, 32, 64];
+            vec![if be {
+                insn::to_be(d, bits[w])
+            } else {
+                insn::to_le(d, bits[w])
+            }]
+        }),
+        // Plain ALU filler so edge ops compose.
+        (0u8..6, 0u8..6, any::<i32>(), 0usize..6).prop_map(|(d, s, imm, which)| {
+            let ops = [op::ADD, op::SUB, op::MUL, op::XOR, op::AND, op::MOV];
+            vec![if imm % 2 == 0 {
+                insn::alu64_imm(ops[which], d, imm)
+            } else {
+                insn::alu64_reg(ops[which], d, s)
+            }]
+        }),
+    ]
+}
+
+fn alu_program_strategy() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(alu_edge_strategy(), 1..16).prop_map(|steps| {
+        let mut insns = Vec::new();
+        for r in 0..6 {
+            insns.push(insn::mov64_imm(r, r as i32 * 7 + 1));
+        }
+        for s in steps {
+            insns.extend(s);
+        }
+        insns.push(insn::mov64_reg(0, 1));
+        insns.push(insn::exit());
+        Program::new("alu-edge", insns, 0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// ALU edge semantics survive the disassembler: a verified random ALU
+    /// program and its disassemble→reassemble image execute identically
+    /// (same r0, same retired count). Catches both textual drift and any
+    /// VM/disasm disagreement about what an opcode means.
+    #[test]
+    fn alu_programs_execute_identically_after_disasm_roundtrip(
+        program in alu_program_strategy(),
+    ) {
+        if verify(&program).is_err() {
+            return Ok(());
+        }
+        let r1 = Vm::new().run(&program, &mut []).map_err(|e| {
+            TestCaseError::fail(format!("verifier admitted a faulting ALU program: {e}"))
+        })?;
+        let text = hyperion_ebpf::disasm::disassemble(&program);
+        let source: String = text
+            .lines()
+            .map(|l| l.split_once(": ").map(|x| x.1).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = hyperion_ebpf::asm::assemble("rt", &source, 0)
+            .map_err(|e| TestCaseError::fail(format!("{e}\nsource:\n{source}")))?;
+        prop_assert_eq!(&back.insns, &program.insns, "text:\n{}", source);
+        let r2 = Vm::new()
+            .run(&back, &mut [])
+            .map_err(|e| TestCaseError::fail(format!("roundtrip faulted: {e}")))?;
+        prop_assert_eq!(r1, r2);
+    }
+}
+
 // Bytes round-trip: any program survives encode/decode.
 proptest! {
     #[test]

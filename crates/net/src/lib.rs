@@ -23,6 +23,8 @@ pub mod rpc;
 pub mod transport;
 
 pub use frame::{packets_for_message, wire_bytes_for_message, FlowKey, Packet};
-pub use netsim::{NetError, Network, NodeId};
+pub use netsim::{NetError, Network, NodeId, FAULT_NET_CORRUPT, FAULT_NET_DROP, FAULT_NET_FLAP};
 pub use rpc::{MethodId, RpcChannel, RPC_FRAMING};
-pub use transport::{Delivery, Endpoint, EndpointKind, Transport, TransportKind};
+pub use transport::{
+    Delivery, Endpoint, EndpointKind, ReliableDelivery, RetryPolicy, Transport, TransportKind,
+};

@@ -6,6 +6,7 @@
 //! uplink, traverses the switch, and serializes on the receiver's downlink
 //! (which is where incast congestion appears).
 
+use hyperion_sim::fault::FaultPlan;
 use hyperion_sim::resource::Link;
 use hyperion_sim::time::Ns;
 
@@ -17,16 +18,48 @@ use crate::params;
 pub struct NodeId(pub usize);
 
 /// Errors from the network model.
+///
+/// `UnknownNode` is a caller mistake; the remaining variants are injected
+/// hardware faults (see [`Network::set_fault_plan`]) that the transport
+/// retry layer is expected to absorb.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum NetError {
     /// Referenced node does not exist.
     UnknownNode(usize),
+    /// The message was dropped in flight (injected loss); the sender
+    /// learns nothing until its timeout expires.
+    Dropped,
+    /// The message arrived at `delivered_at` but failed its checksum
+    /// (injected corruption); the wire time was paid for nothing.
+    Corrupted {
+        /// When the corrupt frame finished arriving.
+        delivered_at: Ns,
+    },
+    /// A link on the path is down until `until` (injected flap window).
+    LinkDown {
+        /// When the link comes back up.
+        until: Ns,
+    },
+    /// A reliable-delivery retry loop exhausted its attempt budget.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Dropped => write!(f, "message dropped in flight"),
+            NetError::Corrupted { delivered_at } => {
+                write!(f, "message corrupted (arrived at {delivered_at})")
+            }
+            NetError::LinkDown { until } => write!(f, "link down until {until}"),
+            NetError::Exhausted { attempts } => {
+                write!(f, "gave up after {attempts} attempts")
+            }
         }
     }
 }
@@ -44,7 +77,16 @@ pub struct Network {
     switch_latency: Ns,
     messages: u64,
     bytes: u64,
+    faults: FaultPlan,
 }
+
+/// Fault site: each delivery is lost with the configured probability.
+pub const FAULT_NET_DROP: &str = "net:drop";
+/// Fault site: each delivery arrives corrupt with the configured probability.
+pub const FAULT_NET_CORRUPT: &str = "net:corrupt";
+/// Fault site: scheduled windows during which every delivery fails
+/// with [`NetError::LinkDown`] (link flap).
+pub const FAULT_NET_FLAP: &str = "net:flap";
 
 impl Network {
     /// Creates an empty network with default switch latency.
@@ -54,7 +96,21 @@ impl Network {
             switch_latency: params::SWITCH_LATENCY,
             messages: 0,
             bytes: 0,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Installs a fault plan. Sites consulted: [`FAULT_NET_DROP`],
+    /// [`FAULT_NET_CORRUPT`] (Bernoulli per delivery) and
+    /// [`FAULT_NET_FLAP`] (scheduled windows). The default empty plan
+    /// adds no draws and no timing perturbation.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan (for counter export).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Adds a node with full-duplex 100 GbE connectivity; returns its id.
@@ -100,6 +156,24 @@ impl Network {
         }
         self.messages += 1;
         self.bytes += wire;
+        // Link flap: carrier loss is visible at the NIC before any byte
+        // is spent on the wire.
+        if !self.faults.is_empty() {
+            if self.faults.fires(FAULT_NET_FLAP, now) {
+                let until = self
+                    .faults
+                    .window_end(FAULT_NET_FLAP, now)
+                    .unwrap_or(now + self.switch_latency);
+                return Err(NetError::LinkDown { until });
+            }
+            if self.faults.fires(FAULT_NET_DROP, now) {
+                // The frame still occupies the uplink until the drop point.
+                if src != dst {
+                    self.nodes[src.0].uplink.transmit(now, wire);
+                }
+                return Err(NetError::Dropped);
+            }
+        }
         if src == dst {
             // Loopback: no wire traversal, one switch-latency hop.
             return Ok(now + self.switch_latency);
@@ -108,7 +182,14 @@ impl Network {
         let at_switch = up_done + self.switch_latency;
         // Cut-through at message granularity: the downlink starts no
         // earlier than the head arrives and re-serializes the wire bytes.
-        Ok(self.nodes[dst.0].downlink.transmit(at_switch, wire))
+        let delivered = self.nodes[dst.0].downlink.transmit(at_switch, wire);
+        if !self.faults.is_empty() && self.faults.fires(FAULT_NET_CORRUPT, delivered) {
+            // Full wire time paid; the checksum fails on arrival.
+            return Err(NetError::Corrupted {
+                delivered_at: delivered,
+            });
+        }
+        Ok(delivered)
     }
 
     /// The idle (uncontended) one-way latency for a message of `bytes`.
@@ -197,6 +278,49 @@ mod tests {
         let a = net.add_node();
         let t = net.deliver(a, a, Ns::ZERO, 1 << 20).unwrap();
         assert_eq!(t, Ns::ZERO + params::SWITCH_LATENCY);
+    }
+
+    #[test]
+    fn drop_faults_fail_some_deliveries_deterministically() {
+        let run = || {
+            let mut net = Network::new();
+            let a = net.add_node();
+            let b = net.add_node();
+            net.set_fault_plan(FaultPlan::seeded(11).bernoulli(FAULT_NET_DROP, 0.5));
+            (0..64)
+                .map(|i| net.deliver(a, b, Ns(i * 10_000), 64).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        let x = run();
+        assert!(x.iter().any(|ok| *ok) && x.iter().any(|ok| !*ok));
+        assert_eq!(x, run());
+    }
+
+    #[test]
+    fn flap_window_reports_when_the_link_returns() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.set_fault_plan(FaultPlan::seeded(1).window(FAULT_NET_FLAP, Ns(100), Ns(500)));
+        assert!(net.deliver(a, b, Ns(0), 64).is_ok());
+        match net.deliver(a, b, Ns(200), 64) {
+            Err(NetError::LinkDown { until }) => assert_eq!(until, Ns(500)),
+            other => panic!("expected LinkDown, got {other:?}"),
+        }
+        assert!(net.deliver(a, b, Ns(500), 64).is_ok());
+    }
+
+    #[test]
+    fn corruption_pays_the_wire_time() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let clean = net.base_latency(4096);
+        net.set_fault_plan(FaultPlan::seeded(1).bernoulli(FAULT_NET_CORRUPT, 1.0));
+        match net.deliver(a, b, Ns::ZERO, 4096) {
+            Err(NetError::Corrupted { delivered_at }) => assert_eq!(delivered_at, clean),
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! costs, reliability machinery, and multi-round behaviour — the properties
 //! that move the pointer-chasing and middleware experiments.
 
+use hyperion_sim::rng::SplitMix64;
 use hyperion_sim::time::Ns;
 use hyperion_telemetry::{Component, Recorder};
 
@@ -117,6 +118,16 @@ impl TransportKind {
             TransportKind::Homa => "homa:request",
         }
     }
+
+    /// Telemetry span label for a reliable (retrying) send.
+    pub fn reliable_label(self) -> &'static str {
+        match self {
+            TransportKind::Udp => "udp:send_reliable",
+            TransportKind::Tcp => "tcp:send_reliable",
+            TransportKind::Rdma => "rdma:send_reliable",
+            TransportKind::Homa => "homa:send_reliable",
+        }
+    }
 }
 
 /// Outcome of a one-way message delivery.
@@ -126,6 +137,71 @@ pub struct Delivery {
     pub done: Ns,
     /// Network round trips consumed (1 one-way traversal = 0 extra RTTs;
     /// window/grant rounds add whole RTTs).
+    pub wire_rounds: u64,
+}
+
+/// Retry policy for reliable delivery over a faulty wire: a fixed
+/// attempt budget, a loss-detection timeout, and capped exponential
+/// backoff with deterministic jitter.
+///
+/// Everything runs on the virtual clock; the jitter for attempt `k` is a
+/// pure function of `(jitter_seed, k)`, so a seeded run replays the same
+/// retry timeline bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts before giving up (>= 1).
+    pub max_attempts: u32,
+    /// How long the sender waits for an ack before declaring a silent
+    /// loss (applies to [`NetError::Dropped`]).
+    pub timeout: Ns,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub backoff_base: Ns,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Ns,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A reasonable datacenter default: 5 attempts, 100 µs loss timeout,
+    /// 10 µs initial backoff capped at 1 ms.
+    pub const DEFAULT: RetryPolicy = RetryPolicy {
+        max_attempts: 5,
+        timeout: Ns(100_000),
+        backoff_base: Ns(10_000),
+        backoff_cap: Ns(1_000_000),
+        jitter_seed: 0x5EED,
+    };
+
+    /// The backoff before retry number `attempt` (0-based: the wait
+    /// after the first failure is `backoff(0)`): `base * 2^attempt`,
+    /// capped, plus deterministic jitter in `[0, capped/4]`.
+    pub fn backoff(&self, attempt: u32) -> Ns {
+        let exp = self
+            .backoff_base
+            .0
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.backoff_cap.0);
+        let jitter_range = exp / 4 + 1;
+        let jitter = SplitMix64::new(self.jitter_seed ^ attempt as u64).next_u64() % jitter_range;
+        Ns(exp + jitter)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::DEFAULT
+    }
+}
+
+/// Outcome of a reliable (retrying) delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableDelivery {
+    /// Instant the message is fully processed at the receiver.
+    pub done: Ns,
+    /// Send attempts consumed (1 = no fault on the first try).
+    pub attempts: u32,
+    /// Wire rounds of the successful attempt.
     pub wire_rounds: u64,
 }
 
@@ -212,6 +288,120 @@ impl Transport {
             done,
             wire_rounds: rounds,
         })
+    }
+
+    /// Sends one message with loss recovery: injected faults
+    /// ([`NetError::Dropped`], [`NetError::Corrupted`],
+    /// [`NetError::LinkDown`]) are retried under `policy` — timeout on a
+    /// silent loss, immediate NACK on corruption, wait-for-carrier on a
+    /// flap — each followed by capped exponential backoff with
+    /// deterministic jitter. Caller mistakes ([`NetError::UnknownNode`])
+    /// are not retried; an exhausted budget returns
+    /// [`NetError::Exhausted`].
+    pub fn send_reliable(
+        &self,
+        net: &mut Network,
+        from: Endpoint,
+        to: Endpoint,
+        now: Ns,
+        bytes: u64,
+        policy: &RetryPolicy,
+    ) -> Result<ReliableDelivery, NetError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut t = now;
+        for attempt in 0..attempts {
+            match self.send(net, from, to, t, bytes) {
+                Ok(d) => {
+                    return Ok(ReliableDelivery {
+                        done: d.done,
+                        attempts: attempt + 1,
+                        wire_rounds: d.wire_rounds,
+                    })
+                }
+                Err(NetError::Dropped) => {
+                    // Nothing came back: burn the full loss timeout.
+                    t += policy.timeout + policy.backoff(attempt);
+                }
+                Err(NetError::Corrupted { delivered_at }) => {
+                    // The receiver saw the bad checksum and NACKed.
+                    t = delivered_at.max(t) + policy.backoff(attempt);
+                }
+                Err(NetError::LinkDown { until }) => {
+                    // Carrier loss is visible: wait for the link, then
+                    // back off to avoid the post-flap thundering herd.
+                    t = until.max(t) + policy.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::Exhausted { attempts })
+    }
+
+    /// [`Transport::send_reliable`] with telemetry: a `*:send_reliable`
+    /// span covering the whole recovery, a queueing edge at the instant
+    /// the successful attempt finally started (so `critical_path`
+    /// attributes retry waits as queueing, not service), and
+    /// `net:retries` / `net:timeouts` / `net:gave_up` counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_reliable_traced(
+        &self,
+        net: &mut Network,
+        from: Endpoint,
+        to: Endpoint,
+        now: Ns,
+        bytes: u64,
+        policy: &RetryPolicy,
+        rec: &mut Recorder,
+    ) -> Result<ReliableDelivery, NetError> {
+        let span = rec.open(Component::Net, self.kind.reliable_label(), now);
+        let attempts = policy.max_attempts.max(1);
+        let mut t = now;
+        let mut result = Err(NetError::Exhausted { attempts });
+        for attempt in 0..attempts {
+            match self.send(net, from, to, t, bytes) {
+                Ok(d) => {
+                    result = Ok(ReliableDelivery {
+                        done: d.done,
+                        attempts: attempt + 1,
+                        wire_rounds: d.wire_rounds,
+                    });
+                    break;
+                }
+                Err(NetError::Dropped) => {
+                    rec.bump("net:timeouts");
+                    rec.bump("net:retries");
+                    t += policy.timeout + policy.backoff(attempt);
+                }
+                Err(NetError::Corrupted { delivered_at }) => {
+                    rec.bump("net:corrupt");
+                    rec.bump("net:retries");
+                    t = delivered_at.max(t) + policy.backoff(attempt);
+                }
+                Err(NetError::LinkDown { until }) => {
+                    rec.bump("net:link_down");
+                    rec.bump("net:retries");
+                    t = until.max(t) + policy.backoff(attempt);
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if t > now {
+            // Recovery time is queueing, not service.
+            rec.queue_edge(span, t);
+        }
+        match &result {
+            Ok(d) => rec.close(span, d.done),
+            Err(e) => {
+                if matches!(e, NetError::Exhausted { .. }) {
+                    rec.bump("net:gave_up");
+                }
+                rec.close(span, t.max(now));
+            }
+        }
+        result
     }
 
     /// A full request/response exchange: client → server (request),
@@ -379,6 +569,75 @@ mod tests {
             .unwrap();
         assert_eq!(d.wire_rounds, 1);
         assert!(d.done > Ns(1_000));
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_bounded_jitter() {
+        let p = RetryPolicy::DEFAULT;
+        for k in 0..16 {
+            let b = p.backoff(k);
+            let exp = p.backoff_base.0.saturating_mul(1 << k).min(p.backoff_cap.0);
+            assert!(b.0 >= exp && b.0 <= exp + exp / 4 + 1, "attempt {k}: {b}");
+            // Deterministic: same (seed, attempt) → same jitter.
+            assert_eq!(b, p.backoff(k));
+        }
+    }
+
+    #[test]
+    fn reliable_send_recovers_from_drops() {
+        use hyperion_sim::fault::FaultPlan;
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        net.set_fault_plan(FaultPlan::seeded(5).bernoulli(crate::netsim::FAULT_NET_DROP, 0.6));
+        let tr = Transport::new(TransportKind::Udp);
+        let mut recovered = 0u32;
+        let mut t = Ns::ZERO;
+        for _ in 0..32 {
+            if let Ok(d) = tr.send_reliable(&mut net, a, b, t, 64, &RetryPolicy::DEFAULT) {
+                if d.attempts > 1 {
+                    recovered += 1;
+                }
+                t = d.done;
+            } else {
+                t += Ns(1_000_000);
+            }
+        }
+        assert!(recovered > 0, "60% loss must force some retries");
+    }
+
+    #[test]
+    fn reliable_send_gives_up_under_total_loss() {
+        use hyperion_sim::fault::FaultPlan;
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        net.set_fault_plan(FaultPlan::seeded(5).bernoulli(crate::netsim::FAULT_NET_DROP, 1.0));
+        let tr = Transport::new(TransportKind::Udp);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::DEFAULT
+        };
+        match tr.send_reliable(&mut net, a, b, Ns::ZERO, 64, &policy) {
+            Err(NetError::Exhausted { attempts }) => assert_eq!(attempts, 3),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_reliable_send_counts_and_marks_queue_edge() {
+        use hyperion_sim::fault::FaultPlan;
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        net.set_fault_plan(FaultPlan::seeded(5).bernoulli(crate::netsim::FAULT_NET_DROP, 1.0));
+        let tr = Transport::new(TransportKind::Udp);
+        let mut rec = Recorder::new("t");
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::DEFAULT
+        };
+        let r = tr.send_reliable_traced(&mut net, a, b, Ns::ZERO, 64, &policy, &mut rec);
+        assert!(matches!(r, Err(NetError::Exhausted { attempts: 2 })));
+        assert_eq!(rec.counter("net:retries"), 2);
+        assert_eq!(rec.counter("net:timeouts"), 2);
+        assert_eq!(rec.counter("net:gave_up"), 1);
+        assert_eq!(rec.queue_edges().len(), 1);
+        assert_eq!(rec.open_spans(), 0);
     }
 
     #[test]

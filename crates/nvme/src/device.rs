@@ -11,10 +11,11 @@
 //! file system / LSM / shared-log layers above get both correctness and a
 //! faithful latency/queueing profile.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use hyperion_sim::energy::{EnergyMeter, Pj};
+use hyperion_sim::fault::FaultPlan;
 use hyperion_sim::stats::Counters;
 use hyperion_sim::time::Ns;
 use hyperion_telemetry::{Component, Recorder};
@@ -143,6 +144,13 @@ pub enum NvmeError {
         /// The namespace kind that rejected the command.
         kind: NamespaceKind,
     },
+    /// Unrecoverable media error: the read-retry path failed too, so the
+    /// data at `lba` is lost (injected fault that recovery could not
+    /// absorb).
+    MediaError {
+        /// First LBA of the failed read.
+        lba: u64,
+    },
 }
 
 impl std::fmt::Display for NvmeError {
@@ -154,6 +162,9 @@ impl std::fmt::Display for NvmeError {
             NvmeError::ZoneFull(z) => write!(f, "zone {z} is full"),
             NvmeError::WrongNamespace { kind } => {
                 write!(f, "command not supported on {kind:?} namespace")
+            }
+            NvmeError::MediaError { lba } => {
+                write!(f, "unrecoverable media error at LBA {lba}")
             }
         }
     }
@@ -191,7 +202,21 @@ pub struct NvmeDevice {
     /// Completion instants of commands still in flight (the submission
     /// queue's occupancy model; pruned lazily on each submit).
     outstanding: Vec<Ns>,
+    /// Injected-fault plan; empty by default (no draws, no perturbation).
+    faults: FaultPlan,
+    /// LBAs relocated to spare pages after a grown bad block.
+    remapped: HashSet<u64>,
+    /// Next spare page for remap programs (past the namespace pages).
+    remap_cursor: u64,
 }
+
+/// Fault site: a read command hits a media error with the configured
+/// probability; the device answers with read-retry, then a remap, and
+/// only surfaces [`NvmeError::MediaError`] when the retry fails too.
+pub const FAULT_NVME_MEDIA_READ: &str = "nvme:media_read";
+/// Fault site: a command's completion is delayed by an internal pause
+/// (GC, thermal throttle) with the configured probability.
+pub const FAULT_NVME_LATENCY_SPIKE: &str = "nvme:latency_spike";
 
 impl NvmeDevice {
     /// Creates a conventional block-namespace SSD.
@@ -229,7 +254,33 @@ impl NvmeDevice {
             counters: Counters::new(),
             kv_page_cursor: 0,
             outstanding: Vec::new(),
+            faults: FaultPlan::none(),
+            remapped: HashSet::new(),
+            remap_cursor: 0,
         }
+    }
+
+    /// Installs a fault plan. Sites consulted:
+    /// [`FAULT_NVME_MEDIA_READ`] and [`FAULT_NVME_LATENCY_SPIKE`]. The
+    /// default empty plan adds no draws and no timing perturbation.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan (for counter export).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// True once any grown bad block was remapped: the device still
+    /// serves every LBA but is operating on spare capacity.
+    pub fn is_degraded(&self) -> bool {
+        !self.remapped.is_empty()
+    }
+
+    /// Number of LBAs relocated to spare pages.
+    pub fn remapped_lbas(&self) -> usize {
+        self.remapped.len()
     }
 
     /// The namespace kind.
@@ -301,7 +352,13 @@ impl NvmeDevice {
     /// callers when they become visible).
     pub fn submit(&mut self, cmd: Command, now: Ns) -> Result<Completion, NvmeError> {
         self.outstanding.retain(|&d| d > now);
-        let completion = self.execute(cmd, now)?;
+        let mut completion = self.execute(cmd, now)?;
+        if !self.faults.is_empty() && self.faults.fires(FAULT_NVME_LATENCY_SPIKE, now) {
+            // Internal pause (GC, thermal throttle): the command
+            // completes, late.
+            completion.done += params::READ_LATENCY * 8;
+            self.counters.bump("latency_spikes");
+        }
         self.outstanding.push(completion.done);
         Ok(completion)
     }
@@ -327,7 +384,30 @@ impl NvmeDevice {
                 rec.queue_edge(span, arrive + wait);
             }
         }
-        match self.submit(cmd, now) {
+        let recovery_before = [
+            self.counters.get("media_errors"),
+            self.counters.get("read_retries"),
+            self.counters.get("remaps"),
+            self.counters.get("latency_spikes"),
+            self.counters.get("media_failures"),
+        ];
+        let result = self.submit(cmd, now);
+        for (name, before) in [
+            "nvme:media_errors",
+            "nvme:read_retries",
+            "nvme:remaps",
+            "nvme:latency_spikes",
+            "nvme:media_failures",
+        ]
+        .into_iter()
+        .zip(recovery_before)
+        {
+            let after = self.counters.get(name.trim_start_matches("nvme:"));
+            if after > before {
+                rec.count(name, after - before);
+            }
+        }
+        match result {
             Ok(c) => {
                 rec.close(span, c.done);
                 Ok(c)
@@ -352,6 +432,7 @@ impl NvmeDevice {
                 self.check_range(lba, blocks)?;
                 self.counters.bump("reads");
                 let done = self.read_pages(lba, blocks, start);
+                let done = self.recover_read(lba, blocks, done)?;
                 let mut out = Vec::with_capacity((blocks * params::LBA_SIZE) as usize);
                 for b in 0..blocks {
                     match self.blocks.get(&(lba + b)) {
@@ -494,6 +575,47 @@ impl NvmeDevice {
                 })
             }
         }
+    }
+
+    /// The self-healing read path. When the media-read fault site fires,
+    /// the controller first re-senses the stripe (read-retry with tuned
+    /// thresholds); if the retry succeeds the cells are treated as a
+    /// grown bad block and the LBAs are relocated to spare pages in the
+    /// background. Only a failed retry surfaces
+    /// [`NvmeError::MediaError`] to the caller. Already-remapped LBAs
+    /// read from healthy spare cells and skip injection entirely.
+    fn recover_read(&mut self, lba: u64, blocks: u64, done: Ns) -> Result<Ns, NvmeError> {
+        if self.faults.is_empty() || self.remapped.contains(&lba) {
+            return Ok(done);
+        }
+        if !self.faults.fires(FAULT_NVME_MEDIA_READ, done) {
+            return Ok(done);
+        }
+        self.counters.bump("media_errors");
+        self.counters.bump("read_retries");
+        let retried = self.read_pages(lba, blocks, done);
+        if self.faults.fires(FAULT_NVME_MEDIA_READ, retried) {
+            // The retry failed too: data at this stripe is lost.
+            self.counters.bump("media_failures");
+            return Err(NvmeError::MediaError { lba });
+        }
+        // Recovered, but the cells are marginal: relocate to spares. The
+        // program proceeds in the background (it occupies flash but does
+        // not delay this read's completion).
+        let pages = Self::page_of(lba + blocks - 1) - Self::page_of(lba) + 1;
+        let spare_base = Self::page_of(self.capacity_lbas) + self.remap_cursor;
+        self.remap_cursor += pages;
+        for p in 0..pages {
+            self.flash.access(FlashOp::Program, spare_base + p, retried);
+        }
+        self.energy.charge(Pj(
+            (blocks * params::LBA_SIZE) as u128 * params::PROGRAM_PJ_PER_BYTE as u128
+        ));
+        for b in 0..blocks {
+            self.remapped.insert(lba + b);
+        }
+        self.counters.bump("remaps");
+        Ok(retried)
     }
 
     fn require(&self, kind: NamespaceKind) -> Result<(), NvmeError> {
@@ -764,6 +886,76 @@ mod tests {
             )
             .unwrap();
         assert_eq!(gone.response, Response::NotFound);
+    }
+
+    #[test]
+    fn media_fault_recovers_via_retry_and_remap() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        // Clean read for a latency baseline.
+        let clean = d
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap()
+            .done;
+        // A window that covers the first sense (evaluated at its
+        // completion instant) but not the later retry: the read recovers.
+        let mut d2 = NvmeDevice::new_block(1 << 20);
+        d2.set_fault_plan(FaultPlan::seeded(3).window(
+            FAULT_NVME_MEDIA_READ,
+            Ns::ZERO,
+            clean + Ns(1),
+        ));
+        let c = d2
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        assert!(c.done > clean, "retry must cost extra media time");
+        assert_eq!(d2.counters.get("media_errors"), 1);
+        assert_eq!(d2.counters.get("read_retries"), 1);
+        assert_eq!(d2.counters.get("remaps"), 1);
+        assert!(d2.is_degraded());
+        assert_eq!(d2.remapped_lbas(), 1);
+        // The remapped LBA reads clean from spare cells afterwards.
+        let again = d2
+            .submit(Command::Read { lba: 0, blocks: 1 }, c.done)
+            .unwrap();
+        assert_eq!(d2.counters.get("media_errors"), 1);
+        drop(again);
+    }
+
+    #[test]
+    fn unrecoverable_media_error_is_typed_and_bounded() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        // A permanent window: the retry fails too — exactly one retry is
+        // attempted, then the typed error surfaces.
+        d.set_fault_plan(FaultPlan::seeded(3).window(
+            FAULT_NVME_MEDIA_READ,
+            Ns::ZERO,
+            Ns(u64::MAX),
+        ));
+        match d.submit(Command::Read { lba: 8, blocks: 1 }, Ns::ZERO) {
+            Err(NvmeError::MediaError { lba }) => assert_eq!(lba, 8),
+            other => panic!("expected MediaError, got {other:?}"),
+        }
+        assert_eq!(d.counters.get("read_retries"), 1);
+        assert_eq!(d.counters.get("media_failures"), 1);
+        assert!(!d.is_degraded(), "failed reads do not remap");
+    }
+
+    #[test]
+    fn latency_spike_delays_completion_deterministically() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        let clean = d
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap()
+            .done;
+        let run = |seed: u64| {
+            let mut d = NvmeDevice::new_block(1 << 20);
+            d.set_fault_plan(FaultPlan::seeded(seed).bernoulli(FAULT_NVME_LATENCY_SPIKE, 1.0));
+            d.submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+                .unwrap()
+                .done
+        };
+        assert_eq!(run(1), clean + params::READ_LATENCY * 8);
+        assert_eq!(run(1), run(1));
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub mod flash;
 pub mod params;
 pub mod queue;
 
-pub use device::{Command, Completion, NamespaceKind, NvmeDevice, NvmeError, Response};
+pub use device::{
+    Command, Completion, NamespaceKind, NvmeDevice, NvmeError, Response, FAULT_NVME_LATENCY_SPIKE,
+    FAULT_NVME_MEDIA_READ,
+};
 pub use flash::{FlashArray, FlashOp};
 pub use queue::QueuePair;

@@ -40,6 +40,15 @@ impl QueuePair {
         }
     }
 
+    /// Reaps every completion that has posted by `now`. The boundary is
+    /// inclusive: a completion posting exactly at `now` is visible to a
+    /// driver polling at `now` and frees its slot for the submission at
+    /// the same instant — a `done == now` entry must never stall a
+    /// same-instant submission.
+    fn reap(&mut self, now: Ns) {
+        self.inflight.retain(|&done| done > now);
+    }
+
     /// Submits `cmd` to `device` at `now`, waiting for a free slot if the
     /// queue is at depth. Returns the completion (with queueing included
     /// in its timestamp).
@@ -49,8 +58,7 @@ impl QueuePair {
         cmd: Command,
         now: Ns,
     ) -> Result<Completion, NvmeError> {
-        // Reap completions that have already finished by `now`.
-        self.inflight.retain(|&done| done > now);
+        self.reap(now);
         let start = if self.inflight.len() >= self.depth {
             // Wait for the earliest outstanding completion.
             self.stalled += 1;
@@ -142,6 +150,37 @@ mod tests {
         qp.submit(&mut dev, Command::Read { lba: 4, blocks: 1 }, later)
             .unwrap();
         assert_eq!(qp.stalls(), 0);
+    }
+
+    #[test]
+    fn completion_posting_exactly_at_submission_frees_its_slot() {
+        // Regression pin for the reap boundary: on a depth-1 queue, a
+        // submission arriving at exactly the in-flight command's
+        // completion instant must take the freed slot — no stall, no
+        // inherited queueing delay.
+        let mut dev = NvmeDevice::new_block(1 << 20);
+        let mut qp = QueuePair::with_depth(1);
+        let c1 = qp
+            .submit(&mut dev, Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        let c2 = qp
+            .submit(&mut dev, Command::Read { lba: 4, blocks: 1 }, c1.done)
+            .unwrap();
+        assert_eq!(qp.stalls(), 0, "done == now must reap, not stall");
+        assert!(c2.done > c1.done);
+        // One nanosecond earlier the slot is still held: that stalls.
+        let mut dev2 = NvmeDevice::new_block(1 << 20);
+        let mut qp2 = QueuePair::with_depth(1);
+        let c1 = qp2
+            .submit(&mut dev2, Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        qp2.submit(
+            &mut dev2,
+            Command::Read { lba: 4, blocks: 1 },
+            c1.done - Ns(1),
+        )
+        .unwrap();
+        assert_eq!(qp2.stalls(), 1, "done > now must still hold the slot");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hyperion_sim::fault::FaultPlan;
 use hyperion_sim::resource::Resource;
 use hyperion_sim::stats::Counters;
 use hyperion_sim::time::{serialization_delay, Ns};
@@ -56,6 +57,15 @@ pub const HOST_DOORBELL: Ns = Ns(800);
 /// Host DRAM copy bandwidth used for bounce buffers (one direction).
 pub const HOST_DRAM_BPS: u64 = 200_000_000_000;
 
+/// Fault site: the link drops to recovery and retrains before the TLPs
+/// of a transfer can start moving. Scheduled windows stall until the
+/// window ends; Bernoulli firings stall for [`RETRAIN_LATENCY`].
+pub const FAULT_PCIE_RETRAIN: &str = "pcie:retrain";
+
+/// How long one link retrain (recovery → L0) stalls traffic when the
+/// fault site fires outside a scheduled window.
+pub const RETRAIN_LATENCY: Ns = Ns(50_000);
+
 /// A point-to-point PCIe link (one direction modeled; our flows are
 /// request/response at a higher layer).
 #[derive(Debug)]
@@ -63,6 +73,8 @@ pub struct PcieLink {
     gen: PcieGen,
     lanes: u32,
     wire: Resource,
+    faults: FaultPlan,
+    retrain_stalls: u64,
 }
 
 impl PcieLink {
@@ -77,7 +89,33 @@ impl PcieLink {
             gen,
             lanes,
             wire: Resource::new(name, 1),
+            faults: FaultPlan::none(),
+            retrain_stalls: 0,
         }
+    }
+
+    /// Installs a fault plan; consults [`FAULT_PCIE_RETRAIN`]. The
+    /// default empty plan adds no draws and no timing perturbation.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Times a transfer stalled behind a link retrain.
+    pub fn retrain_stalls(&self) -> u64 {
+        self.retrain_stalls
+    }
+
+    /// When the retrain fault site fires at `now`, the instant traffic
+    /// may move again (window end, or one [`RETRAIN_LATENCY`]); `now`
+    /// otherwise.
+    fn release_after_retrain(&mut self, now: Ns) -> Ns {
+        if self.faults.is_empty() || !self.faults.fires(FAULT_PCIE_RETRAIN, now) {
+            return now;
+        }
+        self.retrain_stalls += 1;
+        self.faults
+            .window_end(FAULT_PCIE_RETRAIN, now)
+            .unwrap_or(now + RETRAIN_LATENCY)
     }
 
     /// Effective bandwidth in bits per second.
@@ -88,8 +126,9 @@ impl PcieLink {
     /// Transfers `bytes` across the link starting no earlier than `now`,
     /// returning the completion instant (includes one hop latency).
     pub fn transfer(&mut self, now: Ns, bytes: u64) -> Ns {
+        let start = self.release_after_retrain(now);
         let svc = serialization_delay(bytes, self.bandwidth_bps());
-        self.wire.access(now, svc) + HOP_LATENCY
+        self.wire.access(start, svc) + HOP_LATENCY
     }
 
     /// Queue wait a transfer issued at `now` would see before its TLPs
@@ -103,13 +142,21 @@ impl PcieLink {
     /// A non-zero queue wait becomes a queueing edge on the span, so the
     /// critical-path analyzer can split link occupancy from service.
     pub fn transfer_traced(&mut self, now: Ns, bytes: u64, rec: &mut Recorder) -> Ns {
-        let wait = self.queue_wait(now);
-        rec.gauge("pcie:link_queue_wait_ns", wait.0);
-        let span = rec.open(Component::Pcie, self.wire.name(), now);
-        if wait > Ns::ZERO {
-            rec.queue_edge(span, now + wait);
+        // Resolve the retrain stall first so the queue-wait gauge and the
+        // queueing edge both cover time the TLPs could not move, whether
+        // the link was busy or retraining.
+        let start = self.release_after_retrain(now);
+        if start > now {
+            rec.bump("pcie:retrain_stalls");
         }
-        let done = self.transfer(now, bytes);
+        let ready = start + self.queue_wait(start);
+        rec.gauge("pcie:link_queue_wait_ns", (ready - now).0);
+        let span = rec.open(Component::Pcie, self.wire.name(), now);
+        if ready > now {
+            rec.queue_edge(span, ready);
+        }
+        let svc = serialization_delay(bytes, self.bandwidth_bps());
+        let done = self.wire.access(start, svc) + HOP_LATENCY;
         rec.close(span, done);
         done
     }
@@ -340,6 +387,41 @@ mod tests {
         assert_eq!(rc.counters.get("dram_bounces"), 1);
         rc.dma(DmaRoute::HostP2p, &mut s, &mut d, Ns::ZERO, 4096);
         assert_eq!(rc.counters.get("cpu_hops"), 3);
+    }
+
+    #[test]
+    fn retrain_window_defers_transfers_deterministically() {
+        use hyperion_sim::fault::FaultPlan;
+        let clean = PcieLink::new("l", PcieGen::Gen3, 4).transfer(Ns::ZERO, 4096);
+        let mk = || {
+            let mut l = PcieLink::new("l", PcieGen::Gen3, 4);
+            l.set_fault_plan(FaultPlan::seeded(7).window(FAULT_PCIE_RETRAIN, Ns::ZERO, Ns(30_000)));
+            l
+        };
+        let mut l = mk();
+        let done = l.transfer(Ns::ZERO, 4096);
+        // The link is retraining: TLPs start only at the window end.
+        assert_eq!(done, Ns(30_000) + clean);
+        assert_eq!(l.retrain_stalls(), 1);
+        // A transfer issued after the window is untouched.
+        let after = l.transfer(Ns(40_000), 4096);
+        assert_eq!(after, Ns(40_000) + clean);
+        assert_eq!(l.retrain_stalls(), 1);
+        // Deterministic across identically configured links.
+        assert_eq!(mk().transfer(Ns::ZERO, 4096), done);
+    }
+
+    #[test]
+    fn traced_retrain_counts_and_marks_queue_edge() {
+        use hyperion_sim::fault::FaultPlan;
+        use hyperion_telemetry::Recorder;
+        let mut l = PcieLink::new("l", PcieGen::Gen3, 4);
+        l.set_fault_plan(FaultPlan::seeded(7).window(FAULT_PCIE_RETRAIN, Ns::ZERO, Ns(30_000)));
+        let mut rec = Recorder::new("pcie");
+        let done = l.transfer_traced(Ns::ZERO, 4096, &mut rec);
+        assert!(done > Ns(30_000));
+        assert_eq!(rec.counter("pcie:retrain_stalls"), 1);
+        assert_eq!(rec.queue_edges().len(), 1, "stall must be a queue edge");
     }
 
     #[test]

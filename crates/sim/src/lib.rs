@@ -12,6 +12,8 @@
 //!   need genuine interleaving;
 //! * [`rng`] — seeded SplitMix64/Xoshiro256** generators and a Zipf
 //!   sampler, so timelines are reproducible bit-for-bit;
+//! * [`fault`] — seeded, virtual-clock-scheduled fault injection
+//!   (Bernoulli sites and failure windows) for the self-healing paths;
 //! * [`stats`] — log-bucketed histograms, run summaries, and structural
 //!   counters (hops/copies/RTTs);
 //! * [`energy`] — picojoule-exact energy meters for the paper's 4–8x
@@ -25,12 +27,14 @@
 
 pub mod des;
 pub mod energy;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use energy::{EnergyMeter, MilliWatts, Pj};
+pub use fault::FaultPlan;
 pub use resource::{Link, Resource};
 pub use rng::{Rng, Zipf};
 pub use stats::{Counters, Histogram, Summary};

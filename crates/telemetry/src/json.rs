@@ -40,14 +40,16 @@ fn escape(s: &str) -> String {
 ///   "hops": [ {"component","name","count","p50_ns","p99_ns","total_ns","energy_pj"} ],
 ///   "ops": [ {"op","count","p50_ns","p99_ns","mean_ns","max_ns"} ],
 ///   "gauges": [ {"gauge","samples","min","max","mean","last"} ],
+///   "counters": [ {"counter","value"} ],
 ///   "energy_pj": [ {"component","total_pj"} ],
 ///   "spans": [ {"id","parent","component","name","start_ns","end_ns"} ],
 ///   "queue_edges": [ {"span","ready_ns"} ]
 /// }
 /// ```
 ///
-/// `hops`/`ops`/`gauges` are sorted by key; `spans` and `queue_edges`
-/// keep insertion order (parents precede children by construction).
+/// `hops`/`ops`/`gauges`/`counters` are sorted by key; `spans` and
+/// `queue_edges` keep insertion order (parents precede children by
+/// construction).
 pub fn to_json(rec: &Recorder) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -108,6 +110,20 @@ pub fn to_json(rec: &Recorder) -> String {
             g.last(),
         );
         out.push_str(if i + 1 < gauges.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Event counters (faults, retries, timeouts, give-ups), sorted by name.
+    let mut counters: Vec<_> = rec.counters().collect();
+    counters.sort_by_key(|(n, _)| *n);
+    out.push_str("  \"counters\": [\n");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"counter\": \"{}\", \"value\": {v}}}",
+            escape(name)
+        );
+        out.push_str(if i + 1 < counters.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
 
@@ -183,6 +199,7 @@ mod tests {
         r.close(outer, Ns(150));
         r.record_op("kv.get", Ns(150));
         r.gauge("sq_depth", 2);
+        r.bump("nvme:read_retry");
         r
     }
 
@@ -199,6 +216,7 @@ mod tests {
             "\"hops\"",
             "\"ops\"",
             "\"gauges\"",
+            "\"counters\"",
             "\"energy_pj\"",
             "\"spans\"",
             "\"queue_edges\"",
@@ -208,6 +226,7 @@ mod tests {
         assert!(j.contains("\"component\": \"nvme\""));
         assert!(j.contains("\"parent\": 0"));
         assert!(j.contains("{\"span\": 1, \"ready_ns\": 25}"));
+        assert!(j.contains("{\"counter\": \"nvme:read_retry\", \"value\": 1}"));
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub struct Recorder {
     /// Service-op label → latency histogram.
     ops: Vec<(String, Histogram)>,
     gauges: Vec<(&'static str, Gauge)>,
+    /// Named monotonic event counters (faults injected, retries, timeouts,
+    /// give-ups). Insertion-ordered; the JSON dump sorts by name.
+    counters: Vec<(String, u64)>,
     /// Loose energy charges that arrived with no open span to attach to.
     loose_energy: Vec<(Component, Pj)>,
     /// Queueing edges: `(span, ready_at)` — the work inside `span` could
@@ -127,6 +130,7 @@ impl Recorder {
             hops: Vec::new(),
             ops: Vec::new(),
             gauges: Vec::new(),
+            counters: Vec::new(),
             loose_energy: Vec::new(),
             queue_edges: Vec::new(),
         }
@@ -226,6 +230,36 @@ impl Recorder {
         let mut g = Gauge::default();
         g.sample(value);
         self.gauges.push((name, g));
+    }
+
+    /// Adds `n` to the named event counter, creating it at zero first.
+    /// Counters record discrete recovery events — faults injected,
+    /// retries, timeouts, give-ups — that have no duration of their own.
+    pub fn count(&mut self, name: &str, n: u64) {
+        if let Some(i) = self.counters.iter().position(|(m, _)| m == name) {
+            self.counters[i].1 += n;
+            return;
+        }
+        self.counters.push((name.to_string(), n));
+    }
+
+    /// Increments the named event counter by one.
+    pub fn bump(&mut self, name: &str) {
+        self.count(name, 1);
+    }
+
+    /// Named event counters, in first-recorded order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// The value of one counter (zero when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(m, _)| m == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
     }
 
     /// Adds an explicit (dynamic) energy charge. If a span of the same
@@ -408,6 +442,9 @@ impl Recorder {
                 self.gauges.push((n, g.clone()));
             }
         }
+        for (n, v) in &other.counters {
+            self.count(n, *v);
+        }
         for (c, e) in &other.loose_energy {
             if let Some(i) = self.loose_energy.iter().position(|(d, _)| d == c) {
                 self.loose_energy[i].1 += *e;
@@ -530,6 +567,23 @@ mod tests {
         // The merged edge re-anchors to the rebased span id.
         assert_eq!(a.queue_edge_of(SpanId::index(1)), Some(Ns(30)));
         assert_eq!(a.queue_edges().len(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Recorder::new("a");
+        a.bump("net:retry");
+        a.count("net:retry", 2);
+        a.bump("nvme:media_error");
+        assert_eq!(a.counter("net:retry"), 3);
+        assert_eq!(a.counter("never"), 0);
+        let mut b = Recorder::new("b");
+        b.count("net:retry", 4);
+        b.bump("net:gave_up");
+        a.merge(&b);
+        assert_eq!(a.counter("net:retry"), 7);
+        assert_eq!(a.counter("net:gave_up"), 1);
+        assert_eq!(a.counters().count(), 3);
     }
 
     #[test]

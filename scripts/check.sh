@@ -15,9 +15,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> fault-matrix smoke (e13: injected faults must recover deterministically)"
+# E13 is explicit-only and never in the gated snapshot below; run it twice
+# and require byte-identical output so fault injection stays deterministic.
+FAULTS_A="$(mktemp)"
+FAULTS_B="$(mktemp)"
+trap 'rm -f "$FAULTS_A" "$FAULTS_B"' EXIT
+cargo run --release -q -p hyperion-bench --bin report -- e13 > "$FAULTS_A"
+cargo run --release -q -p hyperion-bench --bin report -- e13 > "$FAULTS_B"
+diff -u "$FAULTS_A" "$FAULTS_B"
+grep -q "gave up" "$FAULTS_A"
+
 echo "==> report --json -> BENCH_report.json + bench gate"
 SNAPSHOT="$(mktemp)"
-trap 'rm -f "$SNAPSHOT"' EXIT
+trap 'rm -f "$SNAPSHOT" "$FAULTS_A" "$FAULTS_B"' EXIT
 cargo run --release -q -p hyperion-bench --bin report -- --json > "$SNAPSHOT"
 ./scripts/bench_gate.sh "$SNAPSHOT"
 
