@@ -14,7 +14,8 @@
 //! `--json` prints a JSON array of the selected experiments' telemetry
 //! dumps (deterministic: same build + same selection → byte-identical
 //! output) and skips the human-readable tables. `e13` (fault injection)
-//! only runs when named explicitly, never in the default selection. `--trace` prints the
+//! and `e14` (cluster failover) only run when named explicitly, never in
+//! the default selection. `--trace` prints the
 //! first selected experiment's span tree as `trace_event` JSON — pipe it
 //! to a file and open it at `ui.perfetto.dev`. `--slo` runs the
 //! deterministic multi-tenant mix and prints its digest table.
@@ -30,10 +31,11 @@ fn main() {
     let slo_only = raw.iter().any(|a| a == "--slo");
     let args: Vec<String> = raw.into_iter().filter(|a| !a.starts_with('-')).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
-    // E13 (tail latency under injected faults) is explicit-only: the
-    // committed BENCH_report.json baseline and the perf gate cover the
-    // no-fault datapath, so the default selection must not include it.
-    let want_faults = args.iter().any(|a| a == "e13");
+    // E13/E14 (fault injection and cluster failover) are explicit-only:
+    // the committed BENCH_report.json baseline and the perf gate cover
+    // the no-fault datapath, so the default selection must not include
+    // them.
+    let want_faults = |id: &str| args.iter().any(|a| a == id);
 
     if slo_only {
         let (table, rec) = slo::run();
@@ -61,8 +63,11 @@ fn main() {
     if want("e7") {
         recs.push(experiments::e7::telemetry());
     }
-    if want_faults {
+    if want_faults("e13") {
         recs.push(experiments::e13::telemetry());
+    }
+    if want_faults("e14") {
+        recs.push(experiments::e14::telemetry());
     }
 
     if trace {
@@ -117,8 +122,11 @@ fn main() {
     if want("e12") {
         tables.push(("e12", experiments::e12::run()));
     }
-    if want_faults {
+    if want_faults("e13") {
         tables.push(("e13", experiments::e13::run()));
+    }
+    if want_faults("e14") {
+        tables.push(("e14", experiments::e14::run()));
     }
     if want("f2") || want("figure2") {
         tables.push(("f2", experiments::figure2::run()));

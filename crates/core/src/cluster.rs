@@ -12,15 +12,41 @@
 //! * a **cluster-wide shared log** (CORFU over network-attached SSDs,
 //!   refs 20 and 165): a global sequencer plus one write-once log unit per DPU,
 //!   striped by position, sealed collectively on reconfiguration.
+//!
+//! On top of those sits the **cluster availability layer** (§2.4/§4: a
+//! CPU-free device that dies has no host to notice, fence, or replace
+//! it): [`FailureDetector`] turns virtual-clock heartbeats into
+//! phi-accrual-style suspicion, and [`ClusterSupervisor`] reacts —
+//! sealing the old epoch, fencing stragglers with typed
+//! [`ClusterError::StaleEpoch`] rejections, and driving automatic CORFU
+//! failover with replica repair onto a spare. Failures enter the model
+//! only through `sim::fault` sites ([`FAULT_NODE_CRASH`] and
+//! `node:partition`, see [`hyperion_net::partition_site`]); an empty
+//! plan performs zero draws and leaves the baseline bit-identical.
 
 use hyperion_net::rpc::{MethodId, RpcChannel};
 use hyperion_net::transport::{Delivery, Endpoint, Transport};
-use hyperion_net::{NetError, Network};
+use hyperion_net::{NetError, Network, NodeId};
+use hyperion_sim::fault::FaultPlan;
 use hyperion_sim::time::Ns;
-use hyperion_storage::corfu::{CorfuError, LogEntry, LogUnit, Sequencer};
+use hyperion_storage::corfu::{CorfuError, CorfuLog, FailoverReport, LogEntry, LogUnit, Sequencer};
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::dpu::{DpuBuilder, HyperionDpu};
 use crate::services::{ServiceError, ServiceRequest, ServiceResponse, TableRegistry};
+
+/// Fault site *family*: `node:crash:<member>` — a scheduled window (use
+/// [`hyperion_sim::fault::FaultPlan::from_instant`] for fail-stop)
+/// during which cluster member `<member>` is dead: it sends no
+/// heartbeats and serves nothing. Build concrete names with
+/// [`crash_site`].
+pub const FAULT_NODE_CRASH: &str = "node:crash";
+
+/// The concrete fault-site name crashing cluster member `member` (see
+/// [`FAULT_NODE_CRASH`]).
+pub fn crash_site(member: usize) -> String {
+    format!("{FAULT_NODE_CRASH}:{member}")
+}
 
 /// A shared-nothing cluster of DPUs with client-side partitioning.
 #[derive(Debug)]
@@ -31,6 +57,7 @@ pub struct DpuCluster {
 
 /// Cluster errors.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ClusterError {
     /// A member DPU failed the request.
     Service(ServiceError),
@@ -38,6 +65,21 @@ pub enum ClusterError {
     Net(NetError),
     /// Log failure.
     Log(CorfuError),
+    /// The request carried an epoch the cluster has sealed: the sender is
+    /// a zombie (it missed a reconfiguration) and must refresh its view
+    /// before anything it says can be accepted.
+    StaleEpoch {
+        /// The epoch the request carried.
+        have: u64,
+        /// The cluster's current epoch.
+        need: u64,
+    },
+    /// The request routed to a member the failure detector suspects;
+    /// the client should re-route to a survivor.
+    Suspected {
+        /// The suspected member.
+        member: usize,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -46,11 +88,26 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Service(e) => write!(f, "service: {e}"),
             ClusterError::Net(e) => write!(f, "net: {e}"),
             ClusterError::Log(e) => write!(f, "log: {e}"),
+            ClusterError::StaleEpoch { have, need } => {
+                write!(f, "stale epoch {have} (cluster at {need})")
+            }
+            ClusterError::Suspected { member } => {
+                write!(f, "member {member} is suspected down")
+            }
         }
     }
 }
 
-impl std::error::Error for ClusterError {}
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Service(e) => Some(e),
+            ClusterError::Net(e) => Some(e),
+            ClusterError::Log(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl DpuCluster {
     /// Boots `n` DPUs at `now`; returns the cluster and the instant the
@@ -143,6 +200,266 @@ impl DpuCluster {
             .call(net, MethodId(10), now, req_bytes, resp_bytes, work)
             .map_err(ClusterError::Net)?;
         Ok((resp, d))
+    }
+}
+
+/// A deterministic phi-accrual-style failure detector for one peer.
+///
+/// Classic phi-accrual (Hayashibara et al.) scores the suspicion that a
+/// peer is dead as a function of the time since its last heartbeat
+/// against the observed inter-arrival distribution. This model keeps the
+/// shape but stays integer-deterministic: the inter-arrival mean is an
+/// EWMA (alpha = 1/8, integer arithmetic), and
+/// `phi = elapsed / mean_interval` — "how many expected heartbeat
+/// intervals of silence have passed". A peer is suspected when phi
+/// crosses the configured threshold. No RNG anywhere, so detection
+/// instants replay bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    mean: Ns,
+    last: Option<Ns>,
+    threshold: f64,
+}
+
+/// Default suspicion threshold: three expected heartbeat intervals of
+/// silence. Low enough to detect within a few intervals, high enough
+/// that one delayed heartbeat never trips it.
+pub const DEFAULT_PHI_THRESHOLD: f64 = 3.0;
+
+impl FailureDetector {
+    /// A detector expecting heartbeats every `expected_interval`,
+    /// suspecting after `threshold` intervals of silence.
+    pub fn new(expected_interval: Ns, threshold: f64) -> FailureDetector {
+        FailureDetector {
+            mean: Ns(expected_interval.0.max(1)),
+            last: None,
+            threshold,
+        }
+    }
+
+    /// Records a heartbeat arriving at `now`.
+    pub fn heartbeat(&mut self, now: Ns) {
+        if let Some(last) = self.last {
+            let interval = now.saturating_sub(last);
+            self.mean = Ns(((self.mean.0 * 7 + interval.0) / 8).max(1));
+        }
+        self.last = Some(now);
+    }
+
+    /// The suspicion score at `now`: elapsed silence in units of the
+    /// mean inter-arrival. Zero until the first heartbeat (a peer never
+    /// heard from is booting, not dead).
+    pub fn phi(&self, now: Ns) -> f64 {
+        match self.last {
+            Some(last) => now.saturating_sub(last).0 as f64 / self.mean.0 as f64,
+            None => 0.0,
+        }
+    }
+
+    /// True when the suspicion score crosses the threshold.
+    pub fn suspect(&self, now: Ns) -> bool {
+        self.phi(now) >= self.threshold
+    }
+}
+
+/// The cluster's availability brain: per-member failure detectors, the
+/// cluster epoch, and the failover trigger.
+///
+/// The supervisor is itself CPU-free state — in a deployment it runs
+/// replicated on the DPUs (the paper's self-hosting argument); here it is
+/// modeled as one deterministic state machine driven by the virtual
+/// clock. Liveness enters exclusively through the fault plan: member `m`
+/// is silent while its [`crash_site`] or its node's
+/// [`hyperion_net::partition_site`] window is active — both pure window
+/// queries, so supervision performs **zero** RNG draws and an empty plan
+/// leaves every baseline bit-identical.
+///
+/// Suspicion **latches**: a partitioned member that later heals is a
+/// zombie carrying a sealed epoch, and stays excluded until an operator
+/// (or a future join protocol) re-admits it.
+#[derive(Debug)]
+pub struct ClusterSupervisor {
+    interval: Ns,
+    nodes: Vec<NodeId>,
+    detectors: Vec<FailureDetector>,
+    suspected: Vec<bool>,
+    epoch: u64,
+    suspicions: u64,
+    epoch_bumps: u64,
+}
+
+impl ClusterSupervisor {
+    /// Supervises the members whose network identities are `nodes`
+    /// (member `m` ⇔ `nodes[m]`), expecting heartbeats every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<NodeId>, interval: Ns, threshold: f64) -> ClusterSupervisor {
+        assert!(!nodes.is_empty(), "a supervisor needs at least one member");
+        let n = nodes.len();
+        ClusterSupervisor {
+            interval,
+            nodes,
+            detectors: vec![FailureDetector::new(interval, threshold); n],
+            suspected: vec![false; n],
+            epoch: 0,
+            suspicions: 0,
+            epoch_bumps: 0,
+        }
+    }
+
+    /// The heartbeat period the cluster runs at.
+    pub fn interval(&self) -> Ns {
+        self.interval
+    }
+
+    /// Number of supervised members.
+    pub fn members(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The cluster's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Suspicions raised so far.
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+
+    /// Epoch bumps (reconfigurations) so far.
+    pub fn epoch_bumps(&self) -> u64 {
+        self.epoch_bumps
+    }
+
+    /// True when `member` is suspected down.
+    pub fn is_suspected(&self, member: usize) -> bool {
+        self.suspected[member]
+    }
+
+    /// Rejects a request carrying a sealed epoch with the typed
+    /// [`ClusterError::StaleEpoch`] — the fencing check every cluster
+    /// RPC passes through.
+    pub fn check_epoch(&self, have: u64) -> Result<(), ClusterError> {
+        if have < self.epoch {
+            Err(ClusterError::StaleEpoch {
+                have,
+                need: self.epoch,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// One heartbeat round at `now`: every member whose crash/partition
+    /// window is inactive heartbeats its peers; detectors score the
+    /// silence of the rest. Returns members *newly* suspected this round
+    /// (suspicion latches — see the type docs). Bumps the
+    /// `cluster:suspicions` counter when a recorder is given.
+    ///
+    /// Liveness is read via [`FaultPlan::active`] — a pure window query —
+    /// so ticking never perturbs any Bernoulli stream.
+    pub fn tick(
+        &mut self,
+        faults: &FaultPlan,
+        now: Ns,
+        mut rec: Option<&mut Recorder>,
+    ) -> Vec<usize> {
+        let mut newly = Vec::new();
+        for m in 0..self.nodes.len() {
+            if self.suspected[m] {
+                continue;
+            }
+            let silent = faults.active(&crash_site(m), now)
+                || faults.active(&hyperion_net::partition_site(self.nodes[m]), now);
+            if !silent {
+                self.detectors[m].heartbeat(now);
+            }
+            if self.detectors[m].suspect(now) {
+                self.suspected[m] = true;
+                self.suspicions += 1;
+                newly.push(m);
+                if let Some(rec) = rec.as_deref_mut() {
+                    rec.bump("cluster:suspicions");
+                }
+            }
+        }
+        newly
+    }
+
+    /// Reacts to a suspicion: runs the automatic CORFU failover on `log`
+    /// for the suspected member's `unit`, adopts the new epoch, and — when
+    /// a recorder is given — bumps `cluster:epoch_bumps` and
+    /// `corfu:repaired_positions`, and records the repair as a
+    /// [`Component::Cluster`] span whose whole extent is a queue edge
+    /// (requests stalled behind repair are *waiting*, not being served;
+    /// the critical-path analyzer charges it as such).
+    pub fn fail_over(
+        &mut self,
+        log: &mut CorfuLog,
+        unit: usize,
+        now: Ns,
+        rec: Option<&mut Recorder>,
+    ) -> Result<FailoverReport, ClusterError> {
+        let report = log.fail_over(unit, now).map_err(ClusterError::Log)?;
+        self.epoch = self.epoch.max(report.epoch);
+        self.epoch_bumps += 1;
+        if let Some(rec) = rec {
+            rec.bump("cluster:epoch_bumps");
+            rec.count("corfu:repaired_positions", report.repaired_positions);
+            let span = rec.open(Component::Cluster, "cluster:repair", now);
+            if report.done > now {
+                rec.queue_edge(span, report.done);
+            }
+            rec.close(span, report.done);
+        }
+        Ok(report)
+    }
+}
+
+impl DpuCluster {
+    /// [`DpuCluster::serve_partitioned`] behind the availability layer:
+    /// the request carries `client_epoch` and is fenced
+    /// ([`ClusterError::StaleEpoch`]) when the cluster has moved on, and
+    /// requests routed to a suspected member are refused with
+    /// [`ClusterError::Suspected`] so the client re-routes instead of
+    /// hanging on a dead DPU.
+    pub fn serve_fenced(
+        &mut self,
+        sup: &ClusterSupervisor,
+        client_epoch: u64,
+        key: u64,
+        request: ServiceRequest,
+        now: Ns,
+    ) -> Result<(usize, ServiceResponse, Ns), ClusterError> {
+        sup.check_epoch(client_epoch)?;
+        let owner = self.owner_of(key);
+        if sup.is_suspected(owner) {
+            return Err(ClusterError::Suspected { member: owner });
+        }
+        self.serve_partitioned(key, request, now)
+    }
+
+    /// Serves `request` on an explicit member (the re-route path a client
+    /// takes after [`ClusterError::Suspected`]), under the same epoch
+    /// fence.
+    pub fn serve_fenced_on(
+        &mut self,
+        sup: &ClusterSupervisor,
+        client_epoch: u64,
+        member: usize,
+        request: ServiceRequest,
+        now: Ns,
+    ) -> Result<(ServiceResponse, Ns), ClusterError> {
+        sup.check_epoch(client_epoch)?;
+        if sup.is_suspected(member) {
+            return Err(ClusterError::Suspected { member });
+        }
+        self.dpus[member]
+            .serve(&self.registries[member], request, now)
+            .map_err(ClusterError::Service)
     }
 }
 
@@ -315,6 +632,183 @@ mod tests {
         // Old entries still readable at the new epoch.
         let (e, _) = log.read(4, t).expect("read");
         assert_eq!(e, LogEntry::Data(bytes::Bytes::from_static(b"e4")));
+    }
+
+    #[test]
+    fn detector_suspects_after_silence_and_not_before() {
+        let interval = Ns(1_000_000); // 1 ms heartbeats
+        let mut d = FailureDetector::new(interval, DEFAULT_PHI_THRESHOLD);
+        // Regular heartbeats: phi stays low.
+        for i in 0..10u64 {
+            d.heartbeat(Ns(i * interval.0));
+            assert!(!d.suspect(Ns(i * interval.0)));
+        }
+        let last = Ns(9 * interval.0);
+        // One interval of silence: not suspicious (phi ~ 1).
+        assert!(!d.suspect(last + interval));
+        // Three intervals: suspicious.
+        assert!(d.suspect(last + Ns(interval.0 * 3)));
+    }
+
+    #[test]
+    fn detector_is_deterministic() {
+        let mk = || {
+            let mut d = FailureDetector::new(Ns(1_000), 3.0);
+            for i in 0..50u64 {
+                d.heartbeat(Ns(i * 1_100)); // slightly slow peer
+            }
+            d
+        };
+        let (a, b) = (mk(), mk());
+        for t in (55_000..80_000).step_by(500) {
+            assert_eq!(a.suspect(Ns(t)), b.suspect(Ns(t)));
+            assert_eq!(a.phi(Ns(t)).to_bits(), b.phi(Ns(t)).to_bits());
+        }
+    }
+
+    #[test]
+    fn supervisor_suspects_a_crashed_member_and_latches() {
+        let interval = Ns(1_000_000);
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut sup = ClusterSupervisor::new(nodes, interval, DEFAULT_PHI_THRESHOLD);
+        // Member 1 fail-stops at t = 5 ms.
+        let faults = FaultPlan::seeded(1).from_instant(&crash_site(1), Ns(5_000_000));
+        let mut suspected = Vec::new();
+        for round in 0..20u64 {
+            let now = Ns(round * interval.0);
+            for m in sup.tick(&faults, now, None) {
+                suspected.push((m, now));
+            }
+        }
+        assert_eq!(suspected.len(), 1, "exactly one member suspected");
+        let (m, at) = suspected[0];
+        assert_eq!(m, 1);
+        // Detection happens a few intervals after the crash, not before.
+        assert!(at >= Ns(5_000_000) + Ns(2 * interval.0), "too early: {at}");
+        assert!(at <= Ns(5_000_000) + Ns(5 * interval.0), "too late: {at}");
+        assert!(sup.is_suspected(1));
+        assert!(!sup.is_suspected(0) && !sup.is_suspected(2));
+        assert_eq!(sup.suspicions(), 1);
+        // Latched: ticking long after never un-suspects.
+        sup.tick(&faults, Ns(100 * interval.0), None);
+        assert!(sup.is_suspected(1));
+    }
+
+    #[test]
+    fn supervisor_suspects_a_partitioned_member() {
+        let interval = Ns(1_000_000);
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut sup = ClusterSupervisor::new(nodes.clone(), interval, DEFAULT_PHI_THRESHOLD);
+        // Node 2 partitioned for a *finite* window; suspicion must latch
+        // even after the partition heals (the member is now a zombie).
+        let faults = FaultPlan::seeded(1).window(
+            &hyperion_net::partition_site(nodes[2]),
+            Ns(3_000_000),
+            Ns(12_000_000),
+        );
+        let mut hit = None;
+        for round in 0..40u64 {
+            let now = Ns(round * interval.0);
+            for m in sup.tick(&faults, now, None) {
+                hit = Some((m, now));
+            }
+        }
+        let (m, _) = hit.expect("partitioned member must be suspected");
+        assert_eq!(m, 2);
+        assert!(sup.is_suspected(2), "suspicion latches across the heal");
+    }
+
+    #[test]
+    fn epoch_fencing_rejects_stale_clients() {
+        let (mut cluster, t) = DpuCluster::boot(2, KEY, Ns::ZERO);
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let mut sup = ClusterSupervisor::new(nodes, Ns(1_000_000), DEFAULT_PHI_THRESHOLD);
+        // Current epoch (0): served.
+        cluster
+            .serve_fenced(&sup, 0, 7, ServiceRequest::KvPut { key: 7, value: 1 }, t)
+            .unwrap();
+        // Simulate a reconfiguration bumping the cluster epoch.
+        let mut log = CorfuLog::new_replicated(3, 1 << 12, 2);
+        log.add_spare_unit(1 << 12);
+        sup.fail_over(&mut log, 0, t, None).unwrap();
+        assert_eq!(sup.epoch(), 1);
+        // The zombie still sends epoch-0 requests: typed rejection.
+        let stale = cluster.serve_fenced(&sup, 0, 7, ServiceRequest::KvGet { key: 7 }, t);
+        assert!(
+            matches!(stale, Err(ClusterError::StaleEpoch { have: 0, need: 1 })),
+            "stale client must be fenced: {stale:?}"
+        );
+        // A refreshed client (epoch 1) is served.
+        cluster
+            .serve_fenced(&sup, 1, 7, ServiceRequest::KvGet { key: 7 }, t)
+            .unwrap();
+    }
+
+    #[test]
+    fn suspected_members_refuse_with_a_typed_error() {
+        let (mut cluster, t) = DpuCluster::boot(2, KEY, Ns::ZERO);
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let interval = Ns(1_000_000);
+        let mut sup = ClusterSupervisor::new(nodes, interval, DEFAULT_PHI_THRESHOLD);
+        // One clean heartbeat round gives the detector its baseline, then
+        // member 0 fail-stops.
+        let faults = FaultPlan::seeded(1).from_instant(&crash_site(0), t + Ns(1));
+        for round in 0..10u64 {
+            sup.tick(&faults, t + Ns(round * interval.0), None);
+        }
+        assert!(sup.is_suspected(0));
+        // Find a key owned by member 0.
+        let key = (0..).find(|&k| cluster.owner_of(k) == 0).unwrap();
+        let r = cluster.serve_fenced(&sup, 0, key, ServiceRequest::KvGet { key }, t);
+        assert!(matches!(r, Err(ClusterError::Suspected { member: 0 })));
+        // The re-route path serves the same request on a survivor.
+        cluster
+            .serve_fenced_on(&sup, 0, 1, ServiceRequest::KvGet { key }, t)
+            .unwrap();
+    }
+
+    #[test]
+    fn supervisor_failover_records_telemetry() {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut sup = ClusterSupervisor::new(nodes, Ns(1_000_000), DEFAULT_PHI_THRESHOLD);
+        let mut log = CorfuLog::new_replicated(3, 1 << 14, 2);
+        log.add_spare_unit(1 << 14);
+        let mut t = Ns::ZERO;
+        for i in 0..12u64 {
+            let (_, done) = log.append(format!("e{i}").as_bytes(), t).unwrap();
+            t = done;
+        }
+        let mut rec = Recorder::new("cluster");
+        let report = sup.fail_over(&mut log, 1, t, Some(&mut rec)).unwrap();
+        assert!(report.repaired_positions > 0);
+        assert_eq!(rec.counter("cluster:epoch_bumps"), 1);
+        assert_eq!(
+            rec.counter("corfu:repaired_positions"),
+            report.repaired_positions
+        );
+        // The repair span is a Cluster hop whose extent is queue-wait.
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].component, Component::Cluster);
+        assert_eq!(spans[0].name, "cluster:repair");
+        assert_eq!(
+            rec.queue_edge_of(hyperion_telemetry::SpanId::index(0)),
+            Some(report.done)
+        );
+        assert_eq!(sup.epoch_bumps(), 1);
+    }
+
+    #[test]
+    fn supervision_with_empty_plan_draws_nothing() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut sup = ClusterSupervisor::new(nodes, Ns(1_000_000), DEFAULT_PHI_THRESHOLD);
+        let faults = FaultPlan::none();
+        for round in 0..100u64 {
+            let newly = sup.tick(&faults, Ns(round * 1_000_000), None);
+            assert!(newly.is_empty());
+        }
+        assert_eq!(sup.suspicions(), 0);
+        assert!(faults.is_empty(), "no sites were ever materialized");
     }
 
     #[test]

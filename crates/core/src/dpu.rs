@@ -96,8 +96,11 @@ pub struct HyperionDpu {
     pub fs: Option<FileSystem>,
     /// AXIS ports of the Figure-2 schematic.
     pub ports: DpuPorts,
-    /// Structural counters (`boots`, `served`).
+    /// Structural counters (`boots`, `served`, `shed`).
     pub counters: Counters,
+    /// Admission control (overload shedding); `None` — the default —
+    /// admits everything, leaving the fault-free baseline untouched.
+    pub admission: Option<crate::admission::Admission>,
     /// Columnar tables published on this DPU (what the typed dispatch
     /// path resolves against).
     pub(crate) tables: crate::services::TableRegistry,
@@ -129,6 +132,7 @@ pub struct DpuBuilder {
     segment_ssds: usize,
     slots: usize,
     auth_key: u64,
+    admission: Option<crate::admission::AdmissionConfig>,
 }
 
 impl Default for DpuBuilder {
@@ -145,6 +149,7 @@ impl DpuBuilder {
             segment_ssds: 2,
             slots: 5,
             auth_key: 0,
+            admission: None,
         }
     }
 
@@ -173,6 +178,14 @@ impl DpuBuilder {
     /// Bitstream authorization key.
     pub fn auth_key(mut self, key: u64) -> DpuBuilder {
         self.auth_key = key;
+        self
+    }
+
+    /// Enables admission control (overload shedding) with `cfg`. Off by
+    /// default: an unconfigured DPU admits every request, so existing
+    /// baselines are untouched.
+    pub fn admission(mut self, cfg: crate::admission::AdmissionConfig) -> DpuBuilder {
+        self.admission = Some(cfg);
         self
     }
 
@@ -208,6 +221,7 @@ impl DpuBuilder {
                 nvme,
             },
             counters: Counters::new(),
+            admission: self.admission.map(crate::admission::Admission::new),
             tables: crate::services::TableRegistry::default(),
             booted_at: Ns::ZERO,
         }

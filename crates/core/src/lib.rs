@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cluster;
 pub mod control;
 pub mod dpu;
@@ -30,7 +31,11 @@ pub mod platform;
 pub mod services;
 pub mod tenancy;
 
-pub use cluster::{ClusterError, ClusterLog, DpuCluster};
+pub use admission::{Admission, AdmissionConfig, Overload};
+pub use cluster::{
+    crash_site, ClusterError, ClusterLog, ClusterSupervisor, DpuCluster, FailureDetector,
+    DEFAULT_PHI_THRESHOLD, FAULT_NODE_CRASH,
+};
 pub use control::{ControlError, ControlPlane, ControlRequest, ControlResponse, DeployedKernel};
 pub use dpu::{DpuBuilder, DpuError, DpuPorts, DpuState, HyperionDpu, SSD_LBAS};
 pub use nvmeof::{

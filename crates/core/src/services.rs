@@ -184,6 +184,16 @@ pub enum ServiceError {
         /// Which component is degraded.
         what: &'static str,
     },
+    /// The DPU shed this request at admission: its inflight depth stood
+    /// at `depth` against a limit of `limit` (see
+    /// [`crate::admission::Admission`]). Typed backpressure — the caller
+    /// should back off or redirect rather than retry immediately.
+    Overloaded {
+        /// Inflight depth at the admission decision.
+        depth: usize,
+        /// The watermark or bound that refused the request.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -199,11 +209,27 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Block(e) => write!(f, "block: {e}"),
             ServiceError::Unavailable { what } => write!(f, "unavailable: {what}"),
             ServiceError::Degraded { what } => write!(f, "degraded: {what}"),
+            ServiceError::Overloaded { depth, limit } => {
+                write!(f, "overloaded: inflight depth {depth} over limit {limit}")
+            }
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Dpu(e) => Some(e),
+            ServiceError::Tree(e) => Some(e),
+            ServiceError::Lsm(e) => Some(e),
+            ServiceError::Log(e) => Some(e),
+            ServiceError::Fs(e) => Some(e),
+            ServiceError::Columnar(e) => Some(e),
+            ServiceError::Block(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Published columnar tables (name → footer metadata).
 #[derive(Debug, Default)]
@@ -710,16 +736,35 @@ impl ServiceOp {
         self,
         dpu: &mut HyperionDpu,
         now: Ns,
-        rec: Option<&mut Recorder>,
+        mut rec: Option<&mut Recorder>,
     ) -> Result<(ServiceResponse, Ns), ServiceError> {
+        // Admission first: a shed request costs the DPU nothing but the
+        // decision itself. Off (None) by default — the baseline path does
+        // not even reap.
+        if let Some(adm) = dpu.admission.as_mut() {
+            if let Err(overload) = adm.admit(now) {
+                dpu.counters.bump("shed");
+                if let Some(rec) = rec.as_deref_mut() {
+                    rec.bump("service:shed");
+                }
+                return Err(ServiceError::Overloaded {
+                    depth: overload.depth,
+                    limit: overload.limit,
+                });
+            }
+        }
         dpu.counters.bump("served");
-        match self {
+        let result = match self {
             ServiceOp::Kv(op) => op.dispatch_rec(dpu, now, rec),
             ServiceOp::Tree(op) => op.dispatch(dpu, now),
             ServiceOp::Log(op) => op.dispatch(dpu, now),
             ServiceOp::File(op) => op.dispatch(dpu, now),
             ServiceOp::Columnar(op) => op.dispatch(dpu, now),
+        };
+        if let (Some(adm), Ok((_, done))) = (dpu.admission.as_mut(), &result) {
+            adm.record(*done);
         }
+        result
     }
 }
 
@@ -919,6 +964,51 @@ mod tests {
             file,
             Err(ServiceError::Unavailable { what: "fs" })
         ));
+    }
+
+    #[test]
+    fn admission_sheds_with_typed_overloaded() {
+        let mut dpu = crate::dpu::DpuBuilder::new()
+            .auth_key(1)
+            .admission(crate::admission::AdmissionConfig {
+                max_inflight: 4,
+                high_watermark: 2,
+                low_watermark: 1,
+            })
+            .build();
+        dpu.boot(Ns::ZERO).unwrap();
+        let t = dpu.booted_at();
+        // Two flash-backed requests land at the same instant: their NVMe
+        // programs are still inflight when the third request arrives, so
+        // it trips the high watermark. (Pure-memtable ops complete at
+        // their issue instant and would never accumulate depth.)
+        let ssd_put = |k: &[u8]| KvOp::SsdPut {
+            key: k.to_vec(),
+            value: Bytes::from_static(b"v"),
+        };
+        dpu.dispatch(t, ssd_put(b"a")).unwrap();
+        dpu.dispatch(t, ssd_put(b"b")).unwrap();
+        match dpu.dispatch(t, KvOp::Put { key: 3, value: 3 }) {
+            Err(ServiceError::Overloaded { depth, limit }) => {
+                assert_eq!(depth, 2);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(dpu.counters.get("shed"), 1);
+        // Far in the future the backlog has drained; admission resumes.
+        let later = t + Ns::from_millis(100);
+        dpu.dispatch(later, KvOp::Put { key: 3, value: 3 }).unwrap();
+    }
+
+    #[test]
+    fn service_errors_chain_their_sources() {
+        use std::error::Error;
+        let e = ServiceError::Dpu(DpuError::NotReady);
+        assert!(e.source().is_some(), "wrapped errors must chain");
+        let e = ServiceError::Overloaded { depth: 3, limit: 2 };
+        assert!(e.source().is_none(), "leaf errors have no source");
+        assert!(e.to_string().contains("overloaded"));
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod rpc;
 pub mod transport;
 
 pub use frame::{packets_for_message, wire_bytes_for_message, FlowKey, Packet};
-pub use netsim::{NetError, Network, NodeId, FAULT_NET_CORRUPT, FAULT_NET_DROP, FAULT_NET_FLAP};
+pub use netsim::{
+    partition_site, NetError, Network, NodeId, FAULT_NET_CORRUPT, FAULT_NET_DROP, FAULT_NET_FLAP,
+    FAULT_NODE_PARTITION,
+};
 pub use rpc::{MethodId, RpcChannel, RPC_FRAMING};
 pub use transport::{
     Delivery, Endpoint, EndpointKind, ReliableDelivery, RetryPolicy, Transport, TransportKind,

@@ -87,6 +87,18 @@ pub const FAULT_NET_CORRUPT: &str = "net:corrupt";
 /// Fault site: scheduled windows during which every delivery fails
 /// with [`NetError::LinkDown`] (link flap).
 pub const FAULT_NET_FLAP: &str = "net:flap";
+/// Fault site *family*: `node:partition:<node>` — scheduled windows
+/// during which every delivery to or from that node is silently dropped
+/// ([`NetError::Dropped`]). Unlike a link flap, nothing is visible at the
+/// sender's NIC: the node is alive but unreachable, which is what makes
+/// fenced zombies possible. Build concrete names with [`partition_site`].
+pub const FAULT_NODE_PARTITION: &str = "node:partition";
+
+/// The concrete fault-site name partitioning `node` (see
+/// [`FAULT_NODE_PARTITION`]).
+pub fn partition_site(node: NodeId) -> String {
+    format!("{FAULT_NODE_PARTITION}:{}", node.0)
+}
 
 impl Network {
     /// Creates an empty network with default switch latency.
@@ -101,9 +113,10 @@ impl Network {
     }
 
     /// Installs a fault plan. Sites consulted: [`FAULT_NET_DROP`],
-    /// [`FAULT_NET_CORRUPT`] (Bernoulli per delivery) and
-    /// [`FAULT_NET_FLAP`] (scheduled windows). The default empty plan
-    /// adds no draws and no timing perturbation.
+    /// [`FAULT_NET_CORRUPT`] (Bernoulli per delivery),
+    /// [`FAULT_NET_FLAP`] and per-node [`FAULT_NODE_PARTITION`] sites
+    /// (scheduled windows). The default empty plan adds no draws and no
+    /// timing perturbation.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = plan;
     }
@@ -169,6 +182,19 @@ impl Network {
             if self.faults.fires(FAULT_NET_DROP, now) {
                 // The frame still occupies the uplink until the drop point.
                 if src != dst {
+                    self.nodes[src.0].uplink.transmit(now, wire);
+                }
+                return Err(NetError::Dropped);
+            }
+            // Partition: the switch silently blackholes traffic touching a
+            // partitioned node. `active` is a pure window query, so the
+            // Bernoulli streams above are never perturbed by these checks.
+            if self.faults.active(&partition_site(src), now)
+                || self.faults.active(&partition_site(dst), now)
+            {
+                if src != dst {
+                    // The sender's frame still leaves its NIC; the loss is
+                    // invisible until the sender's timeout expires.
                     self.nodes[src.0].uplink.transmit(now, wire);
                 }
                 return Err(NetError::Dropped);
@@ -308,6 +334,46 @@ mod tests {
             other => panic!("expected LinkDown, got {other:?}"),
         }
         assert!(net.deliver(a, b, Ns(500), 64).is_ok());
+    }
+
+    #[test]
+    fn partitioned_node_is_silently_unreachable_both_ways() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        net.set_fault_plan(FaultPlan::seeded(1).window(&partition_site(b), Ns(1_000), Ns(5_000)));
+        // Before the window: clean.
+        assert!(net.deliver(a, b, Ns(0), 64).is_ok());
+        // Inside the window: both directions blackhole, silently.
+        assert_eq!(net.deliver(a, b, Ns(2_000), 64), Err(NetError::Dropped));
+        assert_eq!(net.deliver(b, a, Ns(2_000), 64), Err(NetError::Dropped));
+        // Unrelated pairs are untouched.
+        assert!(net.deliver(a, c, Ns(2_000), 64).is_ok());
+        // After the window: the node is reachable again.
+        assert!(net.deliver(a, b, Ns(5_000), 64).is_ok());
+    }
+
+    #[test]
+    fn partition_checks_do_not_perturb_bernoulli_streams() {
+        // Two networks with the same drop plan; one also has a partition
+        // site for a node that never sends. The drop outcomes on the
+        // unpartitioned pair must be identical.
+        let run = |partition: bool| {
+            let mut net = Network::new();
+            let a = net.add_node();
+            let b = net.add_node();
+            let c = net.add_node();
+            let mut plan = FaultPlan::seeded(11).bernoulli(FAULT_NET_DROP, 0.5);
+            if partition {
+                plan = plan.window(&partition_site(c), Ns(0), Ns::MAX);
+            }
+            net.set_fault_plan(plan);
+            (0..64)
+                .map(|i| net.deliver(a, b, Ns(i * 10_000), 64).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

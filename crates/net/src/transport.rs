@@ -128,6 +128,16 @@ impl TransportKind {
             TransportKind::Homa => "homa:send_reliable",
         }
     }
+
+    /// Telemetry span label for a reliable (retrying) request/response.
+    pub fn reliable_request_label(self) -> &'static str {
+        match self {
+            TransportKind::Udp => "udp:request_reliable",
+            TransportKind::Tcp => "tcp:request_reliable",
+            TransportKind::Rdma => "rdma:request_reliable",
+            TransportKind::Homa => "homa:request_reliable",
+        }
+    }
 }
 
 /// Outcome of a one-way message delivery.
@@ -404,6 +414,118 @@ impl Transport {
         result
     }
 
+    /// A full request/response exchange with loss recovery: the *whole*
+    /// exchange (request leg, server work, response leg) is retried as a
+    /// unit under `policy` — the RPC idiom, where a client that hears
+    /// nothing back cannot tell which leg was lost and simply re-issues.
+    /// Recovery semantics per fault match [`Transport::send_reliable`];
+    /// an exhausted budget returns [`NetError::Exhausted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn request_reliable(
+        &self,
+        net: &mut Network,
+        client: Endpoint,
+        server: Endpoint,
+        now: Ns,
+        req_bytes: u64,
+        resp_bytes: u64,
+        server_work: Ns,
+        policy: &RetryPolicy,
+    ) -> Result<ReliableDelivery, NetError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut t = now;
+        for attempt in 0..attempts {
+            match self.request(net, client, server, t, req_bytes, resp_bytes, server_work) {
+                Ok(d) => {
+                    return Ok(ReliableDelivery {
+                        done: d.done,
+                        attempts: attempt + 1,
+                        wire_rounds: d.wire_rounds,
+                    })
+                }
+                Err(NetError::Dropped) => {
+                    t += policy.timeout + policy.backoff(attempt);
+                }
+                Err(NetError::Corrupted { delivered_at }) => {
+                    t = delivered_at.max(t) + policy.backoff(attempt);
+                }
+                Err(NetError::LinkDown { until }) => {
+                    t = until.max(t) + policy.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::Exhausted { attempts })
+    }
+
+    /// [`Transport::request_reliable`] with telemetry: a
+    /// `*:request_reliable` span covering the whole recovery, a queueing
+    /// edge at the instant the successful attempt started (retry waits
+    /// are queueing, not service), and the same `net:*` counters as
+    /// [`Transport::send_reliable_traced`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn request_reliable_traced(
+        &self,
+        net: &mut Network,
+        client: Endpoint,
+        server: Endpoint,
+        now: Ns,
+        req_bytes: u64,
+        resp_bytes: u64,
+        server_work: Ns,
+        policy: &RetryPolicy,
+        rec: &mut Recorder,
+    ) -> Result<ReliableDelivery, NetError> {
+        let span = rec.open(Component::Net, self.kind.reliable_request_label(), now);
+        let attempts = policy.max_attempts.max(1);
+        let mut t = now;
+        let mut result = Err(NetError::Exhausted { attempts });
+        for attempt in 0..attempts {
+            match self.request(net, client, server, t, req_bytes, resp_bytes, server_work) {
+                Ok(d) => {
+                    result = Ok(ReliableDelivery {
+                        done: d.done,
+                        attempts: attempt + 1,
+                        wire_rounds: d.wire_rounds,
+                    });
+                    break;
+                }
+                Err(NetError::Dropped) => {
+                    rec.bump("net:timeouts");
+                    rec.bump("net:retries");
+                    t += policy.timeout + policy.backoff(attempt);
+                }
+                Err(NetError::Corrupted { delivered_at }) => {
+                    rec.bump("net:corrupt");
+                    rec.bump("net:retries");
+                    t = delivered_at.max(t) + policy.backoff(attempt);
+                }
+                Err(NetError::LinkDown { until }) => {
+                    rec.bump("net:link_down");
+                    rec.bump("net:retries");
+                    t = until.max(t) + policy.backoff(attempt);
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if t > now {
+            rec.queue_edge(span, t);
+        }
+        match &result {
+            Ok(d) => rec.close(span, d.done),
+            Err(e) => {
+                if matches!(e, NetError::Exhausted { .. }) {
+                    rec.bump("net:gave_up");
+                }
+                rec.close(span, t.max(now));
+            }
+        }
+        result
+    }
+
     /// A full request/response exchange: client → server (request),
     /// `server_work` at the server, server → client (response).
     ///
@@ -618,6 +740,89 @@ mod tests {
             Err(NetError::Exhausted { attempts }) => assert_eq!(attempts, 3),
             other => panic!("expected Exhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn reliable_request_retries_the_whole_exchange() {
+        use hyperion_sim::fault::FaultPlan;
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        // Partition the server for a fixed window; the client's RPC must
+        // survive by re-issuing until the window clears.
+        net.set_fault_plan(FaultPlan::seeded(3).window(
+            &crate::netsim::partition_site(b.node),
+            Ns(0),
+            Ns(150_000),
+        ));
+        let tr = Transport::new(TransportKind::Udp);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::DEFAULT
+        };
+        let d = tr
+            .request_reliable(&mut net, a, b, Ns::ZERO, 64, 64, Ns(1_000), &policy)
+            .unwrap();
+        assert!(d.attempts > 1, "must have retried through the partition");
+        assert!(d.done > Ns(150_000), "cannot finish inside the window");
+        // Determinism: replay is bit-identical.
+        let (mut net2, a2, b2) = pair(EndpointKind::Hardware);
+        net2.set_fault_plan(FaultPlan::seeded(3).window(
+            &crate::netsim::partition_site(b2.node),
+            Ns(0),
+            Ns(150_000),
+        ));
+        let d2 = tr
+            .request_reliable(&mut net2, a2, b2, Ns::ZERO, 64, 64, Ns(1_000), &policy)
+            .unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn reliable_request_gives_up_when_the_partition_outlasts_the_budget() {
+        use hyperion_sim::fault::FaultPlan;
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        net.set_fault_plan(
+            FaultPlan::seeded(3).from_instant(&crate::netsim::partition_site(b.node), Ns::ZERO),
+        );
+        let tr = Transport::new(TransportKind::Udp);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::DEFAULT
+        };
+        match tr.request_reliable(&mut net, a, b, Ns::ZERO, 64, 64, Ns::ZERO, &policy) {
+            Err(NetError::Exhausted { attempts }) => assert_eq!(attempts, 3),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_reliable_request_counts_and_marks_queue_edge() {
+        use hyperion_sim::fault::FaultPlan;
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        net.set_fault_plan(
+            FaultPlan::seeded(3).from_instant(&crate::netsim::partition_site(b.node), Ns::ZERO),
+        );
+        let tr = Transport::new(TransportKind::Udp);
+        let mut rec = Recorder::new("t");
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::DEFAULT
+        };
+        let r = tr.request_reliable_traced(
+            &mut net,
+            a,
+            b,
+            Ns::ZERO,
+            64,
+            64,
+            Ns::ZERO,
+            &policy,
+            &mut rec,
+        );
+        assert!(matches!(r, Err(NetError::Exhausted { attempts: 2 })));
+        assert_eq!(rec.counter("net:retries"), 2);
+        assert_eq!(rec.counter("net:gave_up"), 1);
+        assert_eq!(rec.queue_edges().len(), 1);
+        assert_eq!(rec.open_spans(), 0);
     }
 
     #[test]

@@ -121,6 +121,26 @@ impl FaultPlan {
         self
     }
 
+    /// Configures a *permanent* condition at `site` beginning at `start`:
+    /// a window `[start, Ns::MAX)`. This is how fail-stop events (a node
+    /// crash with no repair) are expressed — the site is active from the
+    /// instant onward, forever.
+    pub fn from_instant(self, site: &str, start: Ns) -> FaultPlan {
+        self.window(site, start, Ns::MAX)
+    }
+
+    /// True when `now` lies inside one of `site`'s scheduled windows.
+    /// Purely a query — no draw is consumed and no evaluation is counted
+    /// — so state machines (failure detectors, liveness checks) can poll
+    /// a window-configured site every tick without perturbing any
+    /// Bernoulli stream. Unconfigured sites are never active.
+    pub fn active(&self, site: &str, now: Ns) -> bool {
+        self.sites
+            .iter()
+            .find(|s| s.name == site)
+            .is_some_and(|s| s.windows.iter().any(|&(a, b)| now >= a && now < b))
+    }
+
     /// True when the plan has no sites at all (the no-fault fast path).
     pub fn is_empty(&self) -> bool {
         self.sites.is_empty()
@@ -255,6 +275,36 @@ mod tests {
         let rate = hits as f64 / n as f64;
         assert!((0.22..0.28).contains(&rate), "rate {rate}");
         assert_eq!(p.counts("x"), (n, hits));
+    }
+
+    #[test]
+    fn from_instant_is_a_permanent_condition() {
+        let mut p = FaultPlan::seeded(2).from_instant("node:crash:1", Ns(1_000));
+        assert!(!p.active("node:crash:1", Ns(999)));
+        assert!(p.active("node:crash:1", Ns(1_000)));
+        assert!(p.active("node:crash:1", Ns(u64::MAX - 1)));
+        // `fires` agrees inside the window.
+        assert!(p.fires("node:crash:1", Ns(5_000)));
+    }
+
+    #[test]
+    fn active_is_pure_and_draws_nothing() {
+        let mut p = FaultPlan::seeded(8)
+            .bernoulli("mixed", 0.5)
+            .window("mixed", Ns(100), Ns(200));
+        let mut twin = p.clone();
+        // Polling `active` must not shift the Bernoulli stream.
+        for i in 0..500 {
+            let _ = p.active("mixed", Ns(i));
+        }
+        for i in 0..200 {
+            assert_eq!(
+                p.fires("mixed", Ns(i + 1_000)),
+                twin.fires("mixed", Ns(i + 1_000))
+            );
+        }
+        assert!(!p.active("unconfigured", Ns(0)));
+        assert_eq!(p.counts("unconfigured"), (0, 0));
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub enum CorfuError {
     TooLarge(usize),
     /// The unit holding this position has failed.
     UnitFailed(usize),
+    /// Too few live units remain to satisfy the replication factor —
+    /// failover needs a spare before the log can accept writes again.
+    Insufficient {
+        /// Live units remaining.
+        live: usize,
+        /// Units the replication factor requires.
+        need: usize,
+    },
     /// Block layer failure.
     Block(BlockError),
 }
@@ -58,12 +66,22 @@ impl std::fmt::Display for CorfuError {
             CorfuError::Filled(p) => write!(f, "position {p} was filled"),
             CorfuError::TooLarge(n) => write!(f, "entry of {n} B exceeds the log page"),
             CorfuError::UnitFailed(u) => write!(f, "log unit {u} has failed"),
+            CorfuError::Insufficient { live, need } => {
+                write!(f, "{live} live units cannot satisfy replication {need}")
+            }
             CorfuError::Block(e) => write!(f, "block layer: {e}"),
         }
     }
 }
 
-impl std::error::Error for CorfuError {}
+impl std::error::Error for CorfuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorfuError::Block(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<BlockError> for CorfuError {
     fn from(e: BlockError) -> CorfuError {
@@ -104,9 +122,14 @@ impl Sequencer {
         self.next
     }
 
-    /// Re-initializes the tail after recovery/reconfiguration.
+    /// Raises the tail after recovery/reconfiguration. Monotonic: the
+    /// sequencer never moves backwards, so a recovered tail computed from
+    /// sealed units (which cannot see tokens handed out but never
+    /// written — trailing holes) can never cause a position to be handed
+    /// out twice. A genuinely crashed sequencer is a *fresh* `Sequencer`
+    /// whose state starts at zero and is then raised by reconfiguration.
     pub fn reset_to(&mut self, tail: u64) {
-        self.next = tail;
+        self.next = self.next.max(tail);
     }
 }
 
@@ -320,11 +343,31 @@ pub struct Projection {
 pub struct CorfuLog {
     units: Vec<LogUnit>,
     failed: Vec<bool>,
+    /// Spare units: in the pool but in no projection until failover
+    /// promotes one as a replacement.
+    spares: Vec<usize>,
     /// Projection history, ascending by `from_pos`.
     projections: Vec<Projection>,
     replication: usize,
     epoch: u64,
     sequencer: Sequencer,
+}
+
+/// What a [`CorfuLog::fail_over`] run did, for telemetry and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// The epoch every live unit is now sealed into.
+    pub epoch: u64,
+    /// Positions whose lost replica was rebuilt from a survivor.
+    pub repaired_positions: u64,
+    /// Committed positions with no surviving replica (junk-filled on the
+    /// replacement so reads terminate instead of hanging). Zero whenever
+    /// `replication >= 2` and at most one unit is down.
+    pub lost_positions: u64,
+    /// The spare that took over the failed unit's stripe role, if any.
+    pub replacement: Option<usize>,
+    /// Instant the repair traffic finished draining.
+    pub done: Ns,
 }
 
 impl CorfuLog {
@@ -383,6 +426,7 @@ impl CorfuLog {
         CorfuLog {
             units,
             failed: vec![false; n],
+            spares: Vec::new(),
             projections: vec![Projection {
                 from_pos: 0,
                 unit_ids: (0..n).collect(),
@@ -507,7 +551,9 @@ impl CorfuLog {
             tail = tail.max(u.seal(epoch));
         }
         self.sequencer.reset_to(tail);
-        let live: Vec<usize> = (0..self.units.len()).filter(|&i| !self.failed[i]).collect();
+        let live: Vec<usize> = (0..self.units.len())
+            .filter(|&i| !self.failed[i] && !self.spares.contains(&i))
+            .collect();
         assert!(
             live.len() >= self.replication,
             "not enough live units for replication factor"
@@ -529,6 +575,136 @@ impl CorfuLog {
     /// Direct unit access for fault-injection tests.
     pub fn unit_mut(&mut self, i: usize) -> &mut LogUnit {
         &mut self.units[i]
+    }
+
+    /// Adds a hot spare to the pool: a fresh unit that serves no stripe
+    /// until [`CorfuLog::fail_over`] promotes it as a replacement.
+    /// Returns its unit index.
+    pub fn add_spare_unit(&mut self, capacity_lbas: u64) -> usize {
+        self.units.push(LogUnit::new(capacity_lbas));
+        self.failed.push(false);
+        let id = self.units.len() - 1;
+        self.spares.push(id);
+        id
+    }
+
+    /// Spare units still waiting in the pool.
+    pub fn spare_units(&self) -> &[usize] {
+        &self.spares
+    }
+
+    /// The automatic CORFU failover: marks `failed_unit` dead, seals every
+    /// live unit into a new epoch (fencing stragglers — the dead unit is
+    /// unreachable and keeps its old epoch, which is exactly why every
+    /// *surviving* unit rejects its late writes), recomputes the tail,
+    /// and — when a spare is available — runs **replica repair**: every
+    /// committed position whose chain crossed the dead unit is rebuilt
+    /// from a surviving replica onto the spare, which then takes over the
+    /// dead unit's role in every projection (old positions keep
+    /// resolving; new appends stripe over the repaired set).
+    ///
+    /// Without a spare, survivors form the new projection; if fewer live
+    /// units remain than the replication factor the log refuses with
+    /// [`CorfuError::Insufficient`] instead of panicking — availability
+    /// decisions belong to the cluster layer, not an assert.
+    ///
+    /// Repair is sequential over positions (one read + one write each),
+    /// so `FailoverReport::done` prices the unavailability window the
+    /// repair traffic contributes.
+    pub fn fail_over(&mut self, failed_unit: usize, now: Ns) -> Result<FailoverReport, CorfuError> {
+        self.failed[failed_unit] = true;
+        self.spares.retain(|&s| s != failed_unit);
+        let epoch = self.epoch + 1;
+        let mut tail = 0;
+        for (i, u) in self.units.iter_mut().enumerate() {
+            if !self.failed[i] {
+                tail = tail.max(u.seal(epoch));
+            }
+        }
+        self.epoch = epoch;
+        self.sequencer.reset_to(tail);
+
+        let replacement = self.spares.first().copied();
+        let mut repaired = 0u64;
+        let mut lost = 0u64;
+        let mut t = now;
+        if let Some(spare) = replacement {
+            self.spares.retain(|&s| s != spare);
+            // Rebuild every position whose chain crossed the dead unit
+            // *before* the projections are rewritten, so the chains still
+            // name the dead unit and its survivors.
+            for pos in 0..tail {
+                let chain = self.replicas_of(pos);
+                if !chain.contains(&failed_unit) {
+                    continue;
+                }
+                let mut rebuilt = None;
+                for &u in &chain {
+                    if self.failed[u] {
+                        continue;
+                    }
+                    match self.units[u].read(epoch, pos, t) {
+                        Ok((entry, done)) => {
+                            rebuilt = Some((entry, done));
+                            break;
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                match rebuilt {
+                    Some((LogEntry::Data(data), read_done)) => {
+                        t = self.units[spare].write(epoch, pos, &data, read_done)?;
+                        repaired += 1;
+                    }
+                    Some((LogEntry::Junk, read_done)) => {
+                        t = self.units[spare].fill(epoch, pos, read_done)?;
+                        repaired += 1;
+                    }
+                    None => {
+                        // Was the position ever written? A hole (token
+                        // handed out, never written, never filled) is not
+                        // data loss; a written position with no surviving
+                        // replica is.
+                        if self.units[failed_unit].written.contains_key(&pos) {
+                            lost += 1;
+                            t = self.units[spare].fill(epoch, pos, t)?;
+                        }
+                    }
+                }
+            }
+            // The spare assumes the dead unit's identity in every epoch's
+            // stripe map: history and future both resolve through it.
+            for p in &mut self.projections {
+                for id in &mut p.unit_ids {
+                    if *id == failed_unit {
+                        *id = spare;
+                    }
+                }
+            }
+        } else {
+            let live: Vec<usize> = (0..self.units.len())
+                .filter(|&i| !self.failed[i] && !self.spares.contains(&i))
+                .collect();
+            if live.len() < self.replication {
+                return Err(CorfuError::Insufficient {
+                    live: live.len(),
+                    need: self.replication,
+                });
+            }
+            if live != self.current_projection().unit_ids {
+                self.projections.push(Projection {
+                    from_pos: tail,
+                    unit_ids: live,
+                });
+            }
+        }
+        Ok(FailoverReport {
+            epoch,
+            repaired_positions: repaired,
+            lost_positions: lost,
+            replacement,
+            done: t,
+        })
     }
 }
 
@@ -619,12 +795,78 @@ mod tests {
         for _ in 0..10 {
             l.append(b"x", Ns::ZERO).unwrap();
         }
-        // Sequencer "crashes": reset it wrongly, then reconfigure.
-        l.sequencer.reset_to(0);
+        // Sequencer crashes: a fresh instance starts at zero, then
+        // reconfiguration raises it from the sealed units.
+        l.sequencer = Sequencer::new();
         l.reconfigure();
         assert_eq!(l.tail(), 10, "tail rebuilt from sealed units");
         let (pos, _) = l.append(b"new", Ns::ZERO).unwrap();
         assert_eq!(pos, 10);
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_never_lowers_the_epoch() {
+        let mut u = LogUnit::new(1 << 10);
+        u.write(0, 0, b"a", Ns::ZERO).unwrap();
+        u.write(0, 4, b"b", Ns::ZERO).unwrap();
+        let tail = u.seal(3);
+        assert_eq!(tail, 5, "tail is highest written position + 1");
+        assert_eq!(u.epoch(), 3);
+        // Idempotent: sealing the same epoch again changes nothing.
+        assert_eq!(u.seal(3), 5);
+        assert_eq!(u.epoch(), 3);
+        // A lower epoch is rejected: the unit's epoch never regresses.
+        assert_eq!(u.seal(1), 5);
+        assert_eq!(u.epoch(), 3, "seal(1) must not unseal epoch 3");
+    }
+
+    #[test]
+    fn stale_epoch_ops_after_seal_return_the_typed_error() {
+        let mut u = LogUnit::new(1 << 10);
+        u.write(0, 0, b"pre", Ns::ZERO).unwrap();
+        u.seal(2);
+        // Every op class carries the epoch and is fenced identically.
+        assert!(matches!(
+            u.write(1, 9, b"stale", Ns::ZERO),
+            Err(CorfuError::SealedEpoch { have: 1, need: 2 })
+        ));
+        assert!(matches!(
+            u.read(0, 0, Ns::ZERO),
+            Err(CorfuError::SealedEpoch { have: 0, need: 2 })
+        ));
+        assert!(matches!(
+            u.fill(1, 9, Ns::ZERO),
+            Err(CorfuError::SealedEpoch { have: 1, need: 2 })
+        ));
+        // The current epoch still works.
+        assert!(u.read(2, 0, Ns::ZERO).is_ok());
+    }
+
+    #[test]
+    fn sequencer_never_hands_out_a_token_below_the_recovered_tail() {
+        // Tokens 8 and 9 are handed out but never written: the sealed
+        // units only know about positions 0..8, so a naive recovery
+        // would reset the sequencer to 8 and hand out 8 again — the
+        // double assignment that loses data. reset_to is monotonic.
+        let mut l = log();
+        for _ in 0..8 {
+            l.append(b"x", Ns::ZERO).unwrap();
+        }
+        let t8 = l.sequencer.next_token();
+        let t9 = l.sequencer.next_token();
+        assert_eq!((t8, t9), (8, 9));
+        l.reconfigure();
+        assert_eq!(
+            l.tail(),
+            10,
+            "recovered tail must not regress past handed-out tokens"
+        );
+        let (pos, _) = l.append(b"post", Ns::ZERO).unwrap();
+        assert_eq!(pos, 10, "no token below the recovered tail");
+        // A genuinely fresh sequencer is still raised to the sealed tail.
+        l.sequencer = Sequencer::new();
+        l.reconfigure();
+        assert!(l.tail() >= 10);
     }
 
     #[test]
@@ -764,6 +1006,121 @@ mod tests {
         let mut l = CorfuLog::new_replicated(2, 1 << 14, 2);
         l.fail_unit(0);
         l.reconfigure();
+    }
+
+    #[test]
+    fn fail_over_repairs_onto_a_spare_and_loses_nothing() {
+        let mut l = CorfuLog::new_replicated(3, 1 << 14, 2);
+        let spare = l.add_spare_unit(1 << 14);
+        let mut t = Ns::ZERO;
+        for i in 0..30u64 {
+            let (_, done) = l.append(format!("d{i}").as_bytes(), t).unwrap();
+            t = done;
+        }
+        let report = l.fail_over(1, t).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.replacement, Some(spare));
+        assert_eq!(report.lost_positions, 0, "replication 2 must lose nothing");
+        // Unit 1 was primary or backup for 2/3 of the positions.
+        assert_eq!(report.repaired_positions, 20);
+        assert!(report.done > t, "repair traffic takes time");
+        // Every committed position still reads back, full replication
+        // restored: the spare answers for the dead unit's stripe role.
+        let mut t = report.done;
+        for i in 0..30u64 {
+            let (e, done) = l.read(i, t).unwrap();
+            t = done;
+            assert_eq!(e, LogEntry::Data(Bytes::from(format!("d{i}"))));
+        }
+        // New appends stripe over the repaired set and survive failing
+        // *another* original unit (replication is genuinely back to 2).
+        let (pos, done) = l.append(b"post", t).unwrap();
+        assert_eq!(pos, 30);
+        t = done;
+        l.fail_unit(2);
+        for i in 0..31u64 {
+            match l.read(i, t) {
+                Ok((_, done)) => t = done,
+                Err(e) => panic!("position {i} lost after second failure: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fail_over_fences_the_zombie_unit() {
+        let mut l = CorfuLog::new_replicated(3, 1 << 14, 2);
+        l.add_spare_unit(1 << 14);
+        let mut t = Ns::ZERO;
+        for _ in 0..6 {
+            let (_, done) = l.append(b"x", t).unwrap();
+            t = done;
+        }
+        let report = l.fail_over(0, t).unwrap();
+        // The "dead" unit 0 was actually partitioned: it still holds the
+        // old epoch and tries to write. Every *surviving* unit is sealed
+        // into the new epoch, so its late replication traffic bounces.
+        let stale = l.unit_mut(1).write(0, 100, b"zombie", Ns::ZERO);
+        assert!(
+            matches!(stale, Err(CorfuError::SealedEpoch { have: 0, need: 1 })),
+            "zombie write must be rejected: {stale:?}"
+        );
+        // Its own unit never sealed — writes there succeed but serve no
+        // projection: reads after failover never consult unit 0.
+        assert_eq!(l.unit_mut(0).epoch(), 0);
+        let mut t = report.done;
+        for i in 0..6u64 {
+            let chain = l.replicas_of(i);
+            assert!(!chain.contains(&0), "projection must exclude the zombie");
+            let (_, done) = l.read(i, t).unwrap();
+            t = done;
+        }
+    }
+
+    #[test]
+    fn fail_over_without_spares_falls_back_to_survivors() {
+        let mut l = CorfuLog::new_replicated(4, 1 << 14, 2);
+        let mut t = Ns::ZERO;
+        for _ in 0..8 {
+            let (_, done) = l.append(b"x", t).unwrap();
+            t = done;
+        }
+        let report = l.fail_over(3, t).unwrap();
+        assert_eq!(report.replacement, None);
+        assert_eq!(report.repaired_positions, 0);
+        assert_eq!(l.current_projection().unit_ids, vec![0, 1, 2]);
+        // Replication-2 data on the survivors still reads.
+        for i in 0..8u64 {
+            l.read(i, report.done).unwrap();
+        }
+    }
+
+    #[test]
+    fn fail_over_refuses_when_replication_cannot_be_met() {
+        let mut l = CorfuLog::new_replicated(2, 1 << 14, 2);
+        l.append(b"x", Ns::ZERO).unwrap();
+        let r = l.fail_over(0, Ns::ZERO);
+        assert!(
+            matches!(r, Err(CorfuError::Insufficient { live: 1, need: 2 })),
+            "typed refusal, not a panic: {r:?}"
+        );
+    }
+
+    #[test]
+    fn fail_over_with_replication_one_reports_loss_and_fills_junk() {
+        let mut l = CorfuLog::new(4, 1 << 14); // replication 1
+        l.add_spare_unit(1 << 14);
+        let mut t = Ns::ZERO;
+        for _ in 0..8 {
+            let (_, done) = l.append(b"only-copy", t).unwrap();
+            t = done;
+        }
+        // Positions 2 and 6 lived only on unit 2.
+        let report = l.fail_over(2, t).unwrap();
+        assert_eq!(report.lost_positions, 2);
+        let (e, _) = l.read(2, report.done).unwrap();
+        assert_eq!(e, LogEntry::Junk, "lost positions read as junk, not hangs");
+        let (e, _) = l.read(1, report.done).unwrap();
+        assert_eq!(e, LogEntry::Data(Bytes::from_static(b"only-copy")));
     }
 
     #[test]

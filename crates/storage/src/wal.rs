@@ -36,7 +36,14 @@ impl std::fmt::Display for WalError {
     }
 }
 
-impl std::error::Error for WalError {}
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Block(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<BlockError> for WalError {
     fn from(e: BlockError) -> WalError {

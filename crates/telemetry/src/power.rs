@@ -34,6 +34,10 @@ pub const SERVICE_ACTIVE: MilliWatts = FABRIC_ACTIVE;
 /// 1,600 W envelope.
 pub const HOST_ACTIVE: MilliWatts = MilliWatts::from_watts(400);
 
+/// Cluster availability machinery (failure detection, epoch changes,
+/// replica repair) — runs on the fabric like the service layer.
+pub const CLUSTER_ACTIVE: MilliWatts = FABRIC_ACTIVE;
+
 /// The active-power figure used for a component's time-integrated
 /// attribution.
 pub fn active_power(c: Component) -> MilliWatts {
@@ -44,6 +48,7 @@ pub fn active_power(c: Component) -> MilliWatts {
         Component::Nvme => NVME_ACTIVE,
         Component::Service => SERVICE_ACTIVE,
         Component::Host => HOST_ACTIVE,
+        Component::Cluster => CLUSTER_ACTIVE,
         // `Component` is non_exhaustive for forward-compat; new hops must
         // add a power figure here before they can be recorded.
         #[allow(unreachable_patterns)]

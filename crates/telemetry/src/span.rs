@@ -19,17 +19,21 @@ pub enum Component {
     Service,
     /// A CPU-centric host on the baseline side of a comparison.
     Host,
+    /// Cluster availability machinery: heartbeats, failure detection,
+    /// epoch changes, and replica repair traffic.
+    Cluster,
 }
 
 impl Component {
     /// Every component, in report order.
-    pub const ALL: [Component; 6] = [
+    pub const ALL: [Component; 7] = [
         Component::Net,
         Component::Fabric,
         Component::Pcie,
         Component::Nvme,
         Component::Service,
         Component::Host,
+        Component::Cluster,
     ];
 
     /// Short stable label used in dumps and tables.
@@ -41,6 +45,7 @@ impl Component {
             Component::Nvme => "nvme",
             Component::Service => "service",
             Component::Host => "host",
+            Component::Cluster => "cluster",
         }
     }
 }

@@ -26,6 +26,15 @@ cargo run --release -q -p hyperion-bench --bin report -- e13 > "$FAULTS_B"
 diff -u "$FAULTS_A" "$FAULTS_B"
 grep -q "gave up" "$FAULTS_A"
 
+echo "==> availability smoke (e14: failover must replay byte-identically)"
+# Same contract for the cluster-failover experiment: detection, epoch
+# bumps, repair, and shedding are all on the virtual clock, so two runs
+# must agree to the byte.
+cargo run --release -q -p hyperion-bench --bin report -- e14 > "$FAULTS_A"
+cargo run --release -q -p hyperion-bench --bin report -- e14 > "$FAULTS_B"
+diff -u "$FAULTS_A" "$FAULTS_B"
+grep -q "unavail" "$FAULTS_A"
+
 echo "==> report --json -> BENCH_report.json + bench gate"
 SNAPSHOT="$(mktemp)"
 trap 'rm -f "$SNAPSHOT" "$FAULTS_A" "$FAULTS_B"' EXIT
