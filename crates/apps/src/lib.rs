@@ -27,5 +27,8 @@ pub mod trafficgen;
 pub use analytics::{build_dataset, dpu_scan, host_scan, Dataset, ScanRun};
 pub use fail2ban::{Fail2BanReport, FAIL2BAN_EBPF, MAX_RETRY};
 pub use loadbalancer::{BackendId, LoadBalancer};
-pub use pointer_chase::{client_driven_lookup, offloaded_lookup, populate_tree, ChaseResult};
+pub use pointer_chase::{
+    build_chain, chase_ctx, chase_program, client_driven_lookup, offloaded_lookup, populate_tree,
+    ChaseResult, CHASE_STEPS, POINTER_CHASE_EBPF,
+};
 pub use trafficgen::TrafficGen;

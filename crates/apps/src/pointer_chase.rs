@@ -14,11 +14,118 @@
 
 use hyperion::dpu::HyperionDpu;
 use hyperion::services::{ServiceRequest, ServiceResponse, TableRegistry, TreeOp};
+use hyperion_ebpf::{assemble, MapId, Program, Vm};
 use hyperion_net::rpc::{MethodId, RpcChannel};
 use hyperion_net::Network;
 use hyperion_sim::time::Ns;
 use hyperion_storage::blockstore::BLOCK;
 use hyperion_telemetry::{Component, Recorder};
+
+/// Steps the in-fabric walker is unrolled to. The verifier requires DAG
+/// control flow, so the chase loop is fully unrolled with forward exits
+/// — every iteration is its own basic block, which is exactly what makes
+/// this program a good `report --profile` subject.
+pub const CHASE_STEPS: u64 = 8;
+
+/// Context bytes the walker declares (the 8-byte start key).
+pub const CHASE_CTX_LEN: u64 = 8;
+
+/// The in-fabric pointer chaser: follows `key -> next` links in map 0
+/// for up to [`CHASE_STEPS`] hops and returns the number of hops walked.
+/// A missing link (lookup returns 0) terminates the walk.
+///
+/// ABI: the first 8 context bytes are the start key; keys must be
+/// non-zero so absence is distinguishable.
+pub const POINTER_CHASE_EBPF: &str = r"
+    ; r9 = ctx, r6 = current key, r7 = hops walked
+    mov r9, r1
+    ldxdw r6, [r9+0]
+    mov r7, 0
+    ; step 1
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+    ; step 2
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+    ; step 3
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+    ; step 4
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+    ; step 5
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+    ; step 6
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+    ; step 7
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+    ; step 8
+    mov r1, 0
+    mov r2, r6
+    call map_lookup
+    jeq r0, 0, done
+    mov r6, r0
+    add r7, 1
+done:
+    mov r0, r7
+    exit
+";
+
+/// Assembles the walker ([`POINTER_CHASE_EBPF`]) under its ABI.
+pub fn chase_program() -> Program {
+    assemble("pointer-chase", POINTER_CHASE_EBPF, CHASE_CTX_LEN).expect("walker assembles")
+}
+
+/// Populates the VM's map 0 with a `len`-node chain
+/// `start -> start+1 -> ...`, terminated by absence. `start` must be
+/// non-zero (0 is the walker's miss sentinel).
+pub fn build_chain(vm: &mut Vm, start: u64, len: u64) {
+    assert!(start > 0, "0 is the walker's miss sentinel");
+    if vm.maps.lookup(MapId(0), start).is_err() {
+        vm.maps.add_hash(1 << 10);
+    }
+    for i in 0..len {
+        vm.maps
+            .update(MapId(0), start + i, start + i + 1)
+            .expect("chain fits");
+    }
+}
+
+/// The walker's context for a chase starting at `start`.
+pub fn chase_ctx(start: u64) -> Vec<u8> {
+    start.to_le_bytes().to_vec()
+}
 
 /// Result of one remote lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -352,6 +459,39 @@ mod tests {
         let ops: Vec<&str> = rec.op_histograms().map(|(n, _)| n).collect();
         assert!(ops.contains(&"e6.offloaded"), "{ops:?}");
         assert!(ops.contains(&"e6.client_driven"), "{ops:?}");
+    }
+
+    #[test]
+    fn ebpf_walker_verifies_and_counts_hops() {
+        let p = chase_program();
+        hyperion_ebpf::verify(&p).expect("walker verifies (DAG control flow)");
+        let mut vm = Vm::new();
+        build_chain(&mut vm, 1, 5);
+        let r = vm.run(&p, &mut chase_ctx(1)).unwrap();
+        assert_eq!(r.ret, 5, "five links, five hops");
+        // A chain longer than the unroll caps at CHASE_STEPS.
+        let mut vm = Vm::new();
+        build_chain(&mut vm, 1, 100);
+        let r = vm.run(&p, &mut chase_ctx(1)).unwrap();
+        assert_eq!(r.ret, CHASE_STEPS);
+        // Starting off-chain walks nowhere.
+        let r = vm.run(&p, &mut chase_ctx(500)).unwrap();
+        assert_eq!(r.ret, 0);
+    }
+
+    #[test]
+    fn ebpf_walker_profile_counts_sum_to_retired() {
+        let p = chase_program();
+        let mut vm = Vm::new();
+        build_chain(&mut vm, 1, 3);
+        let mut prof = hyperion_ebpf::Profile::new(&p);
+        let r = vm.run_profiled(&p, &mut chase_ctx(1), &mut prof).unwrap();
+        assert_eq!(prof.retired(), r.insns);
+        assert_eq!(prof.retired(), prof.insn_counts().iter().sum::<u64>());
+        assert_eq!(prof.map_reads(), 4, "three hops plus the terminating miss");
+        // Early blocks ran, late blocks did not: cycle share is skewed.
+        let rows = hyperion_ebpf::block_report(&p, &prof);
+        assert!(rows.iter().any(|b| b.cycles == 0), "unreached unroll tail");
     }
 
     #[test]

@@ -9,18 +9,24 @@
 //! report --json e6    # machine-readable telemetry dumps only
 //! report --trace e6   # Chrome/Perfetto trace of the first selection
 //! report --slo        # per-tenant SLO digest table only
+//! report --util e15   # utilization + bottleneck-blame tables
+//! report --profile    # eBPF hot-path profile (fail2ban, pointer-chase)
 //! ```
 //!
 //! `--json` prints a JSON array of the selected experiments' telemetry
 //! dumps (deterministic: same build + same selection → byte-identical
-//! output) and skips the human-readable tables. `e13` (fault injection)
-//! and `e14` (cluster failover) only run when named explicitly, never in
-//! the default selection. `--trace` prints the
+//! output) and skips the human-readable tables. `e13` (fault injection),
+//! `e14` (cluster failover), and `e15` (bottleneck sweep) only run when
+//! named explicitly, never in the default selection. `--trace` prints the
 //! first selected experiment's span tree as `trace_event` JSON — pipe it
 //! to a file and open it at `ui.perfetto.dev`. `--slo` runs the
-//! deterministic multi-tenant mix and prints its digest table.
+//! deterministic multi-tenant mix and prints its digest table. `--util`
+//! prints each selected recorder's resource-utilization and blame tables
+//! (E15 is the interesting one; others render what their plane tracked).
+//! `--profile` runs the two reference eBPF programs under the hot-path
+//! profiler and prints their ranked basic blocks — no selection needed.
 
-use hyperion_bench::{breakdown, experiments, slo, Table};
+use hyperion_bench::{breakdown, experiments, observe, slo, Table};
 use hyperion_telemetry::json::to_json;
 use hyperion_telemetry::{to_perfetto, Recorder};
 
@@ -29,13 +35,22 @@ fn main() {
     let json = raw.iter().any(|a| a == "--json");
     let trace = raw.iter().any(|a| a == "--trace");
     let slo_only = raw.iter().any(|a| a == "--slo");
+    let util = raw.iter().any(|a| a == "--util");
+    let profile = raw.iter().any(|a| a == "--profile");
     let args: Vec<String> = raw.into_iter().filter(|a| !a.starts_with('-')).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
-    // E13/E14 (fault injection and cluster failover) are explicit-only:
-    // the committed BENCH_report.json baseline and the perf gate cover
-    // the no-fault datapath, so the default selection must not include
-    // them.
+    // E13/E14/E15 (fault injection, cluster failover, bottleneck sweep)
+    // are explicit-only: the committed BENCH_report.json baseline and the
+    // perf gate cover the default datapath, so the default selection must
+    // not include them.
     let want_faults = |id: &str| args.iter().any(|a| a == id);
+
+    if profile {
+        for t in observe::profile_tables() {
+            println!("{t}");
+        }
+        return;
+    }
 
     if slo_only {
         let (table, rec) = slo::run();
@@ -68,6 +83,21 @@ fn main() {
     }
     if want_faults("e14") {
         recs.push(experiments::e14::telemetry());
+    }
+    if want_faults("e15") {
+        recs.push(experiments::e15::telemetry());
+    }
+
+    if util {
+        for rec in &recs {
+            for t in observe::util_tables(rec) {
+                println!("{t}");
+            }
+        }
+        if recs.is_empty() {
+            eprintln!("--util: no instrumented experiment selected (e1/e4/e6/e7/e13/e14/e15)");
+        }
+        return;
     }
 
     if trace {
@@ -127,6 +157,9 @@ fn main() {
     }
     if want_faults("e14") {
         tables.push(("e14", experiments::e14::run()));
+    }
+    if want_faults("e15") {
+        tables.push(("e15", experiments::e15::run()));
     }
     if want("f2") || want("figure2") {
         tables.push(("f2", experiments::figure2::run()));

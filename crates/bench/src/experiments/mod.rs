@@ -10,6 +10,7 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -39,6 +40,7 @@ pub fn run_all() -> Vec<Table> {
     all.extend(e12::run());
     all.extend(e13::run());
     all.extend(e14::run());
+    all.extend(e15::run());
     all.extend(figure2::run());
     all
 }

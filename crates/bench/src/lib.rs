@@ -11,6 +11,7 @@
 pub mod breakdown;
 pub mod experiments;
 pub mod gate;
+pub mod observe;
 pub mod slo;
 pub mod table;
 

@@ -383,6 +383,7 @@ impl ClusterSupervisor {
                 newly.push(m);
                 if let Some(rec) = rec.as_deref_mut() {
                     rec.bump("cluster:suspicions");
+                    rec.instant("cluster:suspicion", now);
                 }
             }
         }
@@ -408,6 +409,7 @@ impl ClusterSupervisor {
         self.epoch_bumps += 1;
         if let Some(rec) = rec {
             rec.bump("cluster:epoch_bumps");
+            rec.instant("cluster:epoch_bump", now);
             rec.count("corfu:repaired_positions", report.repaired_positions);
             let span = rec.open(Component::Cluster, "cluster:repair", now);
             if report.done > now {

@@ -513,11 +513,18 @@ impl Initiator {
             match next_attempt_at(&err, t, policy, attempt) {
                 Some(next) => {
                     if let Some(rec) = rec.as_deref_mut() {
-                        match &err {
-                            NetError::Dropped => rec.bump("nvmeof:timeouts"),
-                            NetError::Corrupted { .. } => rec.bump("nvmeof:corrupt"),
-                            NetError::LinkDown { .. } => rec.bump("nvmeof:link_down"),
-                            _ => {}
+                        let counter = match &err {
+                            NetError::Dropped => Some("nvmeof:timeouts"),
+                            NetError::Corrupted { .. } => Some("nvmeof:corrupt"),
+                            NetError::LinkDown { .. } => Some("nvmeof:link_down"),
+                            _ => None,
+                        };
+                        if let Some(counter) = counter {
+                            rec.bump(counter);
+                            // Mark the fault arrival on the trace timeline
+                            // too — the counter says how many, the instant
+                            // says when.
+                            rec.instant(&format!("fault:{counter}"), t);
                         }
                     }
                     t = next;

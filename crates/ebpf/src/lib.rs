@@ -16,7 +16,10 @@
 //! * [`verifier`] — static verification (structure, DAG control flow,
 //!   range-based abstract interpretation) producing [`VerifiedProgram`],
 //!   the only type the HDL compiler accepts;
-//! * [`maps`] — array/hash maps shared between programs and services.
+//! * [`maps`] — array/hash maps shared between programs and services;
+//! * [`profile`] — the hot-path profiler: per-instruction and
+//!   per-basic-block execution counts plus helper/map traffic, feeding
+//!   `report --profile`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@ pub mod asm;
 pub mod disasm;
 pub mod insn;
 pub mod maps;
+pub mod profile;
 pub mod program;
 pub mod verifier;
 pub mod vm;
@@ -33,6 +37,7 @@ pub use asm::{assemble, AsmError};
 pub use disasm::disassemble;
 pub use insn::Insn;
 pub use maps::{MapError, MapId, MapSet};
+pub use profile::{basic_blocks, block_report, BasicBlock, BlockStats, Profile};
 pub use program::{Program, VerifiedProgram};
 pub use verifier::{verify, VerifyError};
 pub use vm::{helper, ExecResult, Vm, VmError};

@@ -1,0 +1,331 @@
+//! The hot-path profiler: per-instruction and per-basic-block execution
+//! counts for VM runs.
+//!
+//! The paper's observability story needs to answer "*where* does an
+//! offloaded program spend its instructions?" without perturbing the
+//! execution it measures. [`Profile`] is a passive counter sheet the
+//! interpreter bumps at exactly the points it retires instructions, so
+//! the per-slot counts always sum to the VM's retired total — an
+//! invariant the tests pin. [`basic_blocks`] recovers straight-line
+//! regions from the (DAG-shaped, verifier-approved) control flow and
+//! [`block_report`] ranks them by cycle share, which is what
+//! `report --profile` prints.
+//!
+//! Everything here is deterministic: counts are a pure function of the
+//! program and its inputs, and block order is resolved by (share, start).
+
+use crate::insn::{class, Insn};
+use crate::program::Program;
+use crate::vm::helper;
+
+/// Execution counters for one program, accumulated across runs.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    insn_counts: Vec<u64>,
+    helper_calls: Vec<(i32, u64)>,
+    map_reads: u64,
+    map_writes: u64,
+    runs: u64,
+    retired: u64,
+}
+
+impl Profile {
+    /// Creates a zeroed profile sized to `program`.
+    pub fn new(program: &Program) -> Profile {
+        Profile {
+            insn_counts: vec![0; program.insns.len()],
+            helper_calls: Vec::new(),
+            map_reads: 0,
+            map_writes: 0,
+            runs: 0,
+            retired: 0,
+        }
+    }
+
+    /// Number of instruction slots this profile covers.
+    pub fn len(&self) -> usize {
+        self.insn_counts.len()
+    }
+
+    /// True when the profile covers no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insn_counts.is_empty()
+    }
+
+    /// Per-slot execution counts (lddw's second slot counts separately,
+    /// mirroring how the VM retires it).
+    pub fn insn_counts(&self) -> &[u64] {
+        &self.insn_counts
+    }
+
+    /// Total instructions retired under this profile. Equal to the sum
+    /// of [`Profile::insn_counts`] by construction.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Completed (successful) runs recorded.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// `(helper id, calls)` pairs, sorted by helper id.
+    pub fn helper_calls(&self) -> &[(i32, u64)] {
+        &self.helper_calls
+    }
+
+    /// Map lookups/membership probes executed.
+    pub fn map_reads(&self) -> u64 {
+        self.map_reads
+    }
+
+    /// Map updates/deletes executed.
+    pub fn map_writes(&self) -> u64 {
+        self.map_writes
+    }
+
+    /// Records one retired instruction at `pc`. Called by the VM at the
+    /// same points it increments its retired counter.
+    pub(crate) fn record(&mut self, pc: usize) {
+        self.insn_counts[pc] += 1;
+        self.retired += 1;
+    }
+
+    /// Records a helper call (and classifies map traffic by helper id).
+    pub(crate) fn record_helper(&mut self, id: i32) {
+        match self.helper_calls.binary_search_by_key(&id, |&(h, _)| h) {
+            Ok(i) => self.helper_calls[i].1 += 1,
+            Err(i) => self.helper_calls.insert(i, (id, 1)),
+        }
+        match id {
+            helper::MAP_LOOKUP | helper::MAP_CONTAINS => self.map_reads += 1,
+            helper::MAP_UPDATE | helper::MAP_DELETE => self.map_writes += 1,
+            _ => {}
+        }
+    }
+
+    /// Records one completed run.
+    pub(crate) fn record_run(&mut self) {
+        self.runs += 1;
+    }
+}
+
+/// A straight-line region of instruction slots `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First slot of the block.
+    pub start: usize,
+    /// One past the last slot.
+    pub end: usize,
+}
+
+/// One ranked row of a [`block_report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStats {
+    /// The block's extent.
+    pub block: BasicBlock,
+    /// Times the block was entered (its leader's execution count).
+    pub entries: u64,
+    /// Instructions retired inside the block across all runs.
+    pub cycles: u64,
+    /// `cycles` as a fraction of the profile's retired total, in `[0, 1]`.
+    pub share: f64,
+}
+
+fn is_lddw(insn: &Insn) -> bool {
+    insn.is_lddw()
+}
+
+fn is_jump(insn: &Insn) -> bool {
+    matches!(insn.class(), class::JMP | class::JMP32) && !insn.is_call()
+}
+
+/// Splits `program` into basic blocks by leader analysis: slot 0, every
+/// jump target, and every slot following a jump or exit start a block.
+/// lddw occupies two slots; its tail never starts a block.
+pub fn basic_blocks(program: &Program) -> Vec<BasicBlock> {
+    let insns = &program.insns;
+    let n = insns.len();
+    let mut leader = vec![false; n + 1];
+    leader[0] = true;
+    leader[n] = true;
+    let mut pc = 0usize;
+    while pc < n {
+        let insn = insns[pc];
+        let width = if is_lddw(&insn) { 2 } else { 1 };
+        if is_jump(&insn) {
+            if !insn.is_exit() {
+                let target = pc as i64 + 1 + insn.off as i64;
+                if (0..=n as i64).contains(&target) {
+                    leader[target as usize] = true;
+                }
+            }
+            if pc + width <= n {
+                leader[pc + width] = true;
+            }
+        }
+        pc += width;
+    }
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    for (end, lead) in leader.iter().enumerate().skip(1) {
+        if *lead {
+            blocks.push(BasicBlock { start, end });
+            start = end;
+        }
+    }
+    blocks
+}
+
+/// Ranks `program`'s basic blocks by cycle share under `profile`,
+/// descending; ties resolve by block start. The shares of all rows sum
+/// to 1 whenever anything retired.
+///
+/// # Panics
+///
+/// Panics if `profile` was not created for a program of this length.
+pub fn block_report(program: &Program, profile: &Profile) -> Vec<BlockStats> {
+    assert_eq!(
+        profile.len(),
+        program.insns.len(),
+        "profile does not match program"
+    );
+    let total = profile.retired();
+    let mut rows: Vec<BlockStats> = basic_blocks(program)
+        .into_iter()
+        .map(|block| {
+            let cycles: u64 = profile.insn_counts[block.start..block.end].iter().sum();
+            BlockStats {
+                block,
+                entries: profile.insn_counts[block.start],
+                cycles,
+                share: if total == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / total as f64
+                },
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.cycles
+            .cmp(&a.cycles)
+            .then(a.block.start.cmp(&b.block.start))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{self, op};
+    use crate::vm::Vm;
+
+    fn branchy() -> Program {
+        // if ctx_len == 4 { r0 = 1 } else { r0 = 2 }
+        Program::new(
+            "t",
+            vec![
+                insn::jmp_imm(op::JEQ, 2, 4, 2), // 0
+                insn::mov64_imm(0, 2),           // 1
+                insn::exit(),                    // 2
+                insn::mov64_imm(0, 1),           // 3
+                insn::exit(),                    // 4
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn leaders_split_at_jumps_and_targets() {
+        let blocks = basic_blocks(&branchy());
+        assert_eq!(
+            blocks,
+            vec![
+                BasicBlock { start: 0, end: 1 },
+                BasicBlock { start: 1, end: 3 },
+                BasicBlock { start: 3, end: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn lddw_tail_never_leads_a_block() {
+        let [lo, hi] = insn::lddw(0, 77);
+        let p = Program::new("t", vec![lo, hi, insn::exit()], 0);
+        assert_eq!(basic_blocks(&p), vec![BasicBlock { start: 0, end: 3 }]);
+    }
+
+    #[test]
+    fn counts_sum_to_retired_and_split_by_path() {
+        let p = branchy();
+        let mut vm = Vm::new();
+        let mut prof = Profile::new(&p);
+        // Taken path twice, fall-through once.
+        vm.run_profiled(&p, &mut [0u8; 4], &mut prof).unwrap();
+        vm.run_profiled(&p, &mut [0u8; 4], &mut prof).unwrap();
+        vm.run_profiled(&p, &mut [0u8; 3], &mut prof).unwrap();
+        assert_eq!(prof.runs(), 3);
+        assert_eq!(prof.insn_counts(), &[3, 1, 1, 2, 2]);
+        assert_eq!(prof.retired(), prof.insn_counts().iter().sum::<u64>());
+        let rows = block_report(&p, &prof);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].block, BasicBlock { start: 3, end: 5 });
+        assert_eq!(rows[0].cycles, 4);
+        assert_eq!(rows[0].entries, 2);
+        let share_sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lddw_second_slot_counts_like_the_vm_retires_it() {
+        let [lo, hi] = insn::lddw(0, 5);
+        let p = Program::new("t", vec![lo, hi, insn::exit()], 0);
+        let mut vm = Vm::new();
+        let mut prof = Profile::new(&p);
+        let r = vm.run_profiled(&p, &mut [], &mut prof).unwrap();
+        assert_eq!(r.insns, 3);
+        assert_eq!(prof.insn_counts(), &[1, 1, 1]);
+        assert_eq!(prof.retired(), r.insns);
+    }
+
+    #[test]
+    fn helper_and_map_traffic_is_classified() {
+        use crate::vm::helper;
+        let mut vm = Vm::new();
+        let h = vm.maps.add_hash(16);
+        let p = Program::new(
+            "m",
+            vec![
+                insn::mov64_imm(1, h.0 as i32),
+                insn::mov64_imm(2, 9),
+                insn::mov64_imm(3, 1234),
+                insn::call(helper::MAP_UPDATE),
+                insn::mov64_imm(1, h.0 as i32),
+                insn::mov64_imm(2, 9),
+                insn::call(helper::MAP_LOOKUP),
+                insn::exit(),
+            ],
+            0,
+        );
+        let mut prof = Profile::new(&p);
+        vm.run_profiled(&p, &mut [], &mut prof).unwrap();
+        assert_eq!(
+            prof.helper_calls(),
+            &[(helper::MAP_LOOKUP, 1), (helper::MAP_UPDATE, 1)]
+        );
+        assert_eq!(prof.map_reads(), 1);
+        assert_eq!(prof.map_writes(), 1);
+    }
+
+    #[test]
+    fn profiled_and_plain_runs_agree() {
+        let p = branchy();
+        let plain = Vm::new().run(&p, &mut [0u8; 4]).unwrap();
+        let mut prof = Profile::new(&p);
+        let profiled = Vm::new()
+            .run_profiled(&p, &mut [0u8; 4], &mut prof)
+            .unwrap();
+        assert_eq!(plain, profiled);
+    }
+}

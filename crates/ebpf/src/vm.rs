@@ -9,6 +9,7 @@
 
 use crate::insn::{class, op, size, src, Insn, FP, NUM_REGS, STACK_SIZE};
 use crate::maps::{MapId, MapSet};
+use crate::profile::Profile;
 use crate::program::Program;
 
 /// Base virtual address of the 512-byte stack region.
@@ -159,6 +160,38 @@ impl Vm {
     /// The context length must be at least the program's declared
     /// `ctx_min_len` (the engine-side half of the ABI contract).
     pub fn run(&mut self, program: &Program, ctx: &mut [u8]) -> Result<ExecResult, VmError> {
+        self.run_inner(program, ctx, None)
+    }
+
+    /// [`Vm::run`] with hot-path profiling: every retired instruction
+    /// also bumps `prof` at the same program point, so the profile's
+    /// per-slot counts sum exactly to the retired totals. Execution
+    /// semantics and results are identical to the unprofiled path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prof` was not created for a program of this length.
+    pub fn run_profiled(
+        &mut self,
+        program: &Program,
+        ctx: &mut [u8],
+        prof: &mut Profile,
+    ) -> Result<ExecResult, VmError> {
+        assert_eq!(
+            prof.len(),
+            program.insns.len(),
+            "profile does not match program"
+        );
+        let result = self.run_inner(program, ctx, Some(prof))?;
+        Ok(result)
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        ctx: &mut [u8],
+        mut prof: Option<&mut Profile>,
+    ) -> Result<ExecResult, VmError> {
         if (ctx.len() as u64) < program.ctx_min_len {
             return Err(VmError::CtxTooShort {
                 need: program.ctx_min_len,
@@ -180,6 +213,9 @@ impl Vm {
             }
             let insn = *insns.get(pc).ok_or(VmError::FellThrough)?;
             retired += 1;
+            if let Some(p) = prof.as_deref_mut() {
+                p.record(pc);
+            }
             match insn.class() {
                 class::ALU64 | class::ALU32 => {
                     self.alu(pc, insn, &mut regs)?;
@@ -188,12 +224,18 @@ impl Vm {
                 class::JMP | class::JMP32 => {
                     let is32 = insn.class() == class::JMP32;
                     if insn.is_exit() {
+                        if let Some(p) = prof.as_deref_mut() {
+                            p.record_run();
+                        }
                         return Ok(ExecResult {
                             ret: regs[0],
                             insns: retired,
                         });
                     }
                     if insn.is_call() {
+                        if let Some(p) = prof.as_deref_mut() {
+                            p.record_helper(insn.imm);
+                        }
                         self.call_helper(pc, insn.imm, &mut regs, ctx, &mut stack)?;
                         pc += 1;
                         continue;
@@ -252,6 +294,9 @@ impl Vm {
                     let value = (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
                     self.write_reg(pc, insn.dst, value, &mut regs)?;
                     retired += 1; // second slot
+                    if let Some(p) = prof.as_deref_mut() {
+                        p.record(pc + 1);
+                    }
                     pc += 2;
                 }
                 class::LDX => {

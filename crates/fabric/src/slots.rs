@@ -13,6 +13,7 @@ use std::fmt;
 
 use hyperion_sim::resource::Resource;
 use hyperion_sim::time::{serialization_delay, Ns};
+use hyperion_telemetry::{Component, Recorder};
 
 use crate::bitstream::Bitstream;
 use crate::params;
@@ -179,6 +180,42 @@ impl SlotManager {
         Ok(live)
     }
 
+    /// [`SlotManager::program`] with a telemetry span over the
+    /// reconfiguration. When the recorder's utilization plane is on, the
+    /// ICAP's streaming window is claimed as `fabric:icap`, slot occupancy
+    /// is sampled as a `fabric:slots` depth timeline, and a reconfiguration
+    /// that had to wait for the ICAP gets a queueing edge blaming it.
+    /// Timing is identical to the untraced path.
+    pub fn program_traced(
+        &mut self,
+        slot: SlotId,
+        bitstream: Bitstream,
+        now: Ns,
+        rec: &mut Recorder,
+    ) -> Result<Ns, SlotError> {
+        let span = rec.open(Component::Fabric, "fabric:reconfig", now);
+        let icap_start = self.icap.earliest_start(now);
+        let live = match self.program(slot, bitstream, now) {
+            Ok(live) => live,
+            Err(e) => {
+                rec.close(span, now);
+                return Err(e);
+            }
+        };
+        if rec.util_enabled() {
+            let stream_end = live - params::RECONFIG_OVERHEAD;
+            rec.claim_busy("fabric:icap", icap_start, stream_end);
+            rec.depth_sample("fabric:slots", now, self.occupied_slots() as u64);
+            if icap_start > now {
+                rec.queue_edge_labeled(span, icap_start, "fabric:icap");
+            }
+        } else if icap_start > now {
+            rec.queue_edge(span, icap_start);
+        }
+        rec.close(span, live);
+        Ok(live)
+    }
+
     /// Programs the bitstream into the first free slot.
     pub fn program_anywhere(
         &mut self,
@@ -242,6 +279,33 @@ mod tests {
         let a = m.program(SlotId(0), small_kernel("a"), Ns::ZERO).unwrap();
         let b = m.program(SlotId(1), small_kernel("b"), Ns::ZERO).unwrap();
         assert!(b > a, "second reconfiguration must queue on the ICAP");
+    }
+
+    #[test]
+    fn traced_reconfig_claims_the_icap_and_labels_queued_streams() {
+        let mut m = mgr();
+        let mut rec = Recorder::new("fabric-util");
+        rec.enable_util();
+        let a = m
+            .program_traced(SlotId(0), small_kernel("a"), Ns::ZERO, &mut rec)
+            .unwrap();
+        let b = m
+            .program_traced(SlotId(1), small_kernel("b"), Ns::ZERO, &mut rec)
+            .unwrap();
+        let icap = rec.util().resource("fabric:icap").expect("icap claimed");
+        // Two back-to-back streams coalesce into one contiguous window.
+        assert_eq!(icap.claims(), 2);
+        assert_eq!(icap.intervals().len(), 1);
+        assert_eq!(icap.busy_ns(), (b - params::RECONFIG_OVERHEAD) - Ns::ZERO);
+        // Only the second reconfiguration waited; its edge blames the ICAP.
+        assert_eq!(rec.edge_resources().len(), 1);
+        assert_eq!(rec.edge_resources()[0].1, "fabric:icap");
+        let slots = rec.util().resource("fabric:slots").expect("depth sampled");
+        assert_eq!(slots.peak_depth(), 2);
+        // Timing parity with the untraced path.
+        let mut plain = mgr();
+        assert_eq!(plain.program(SlotId(0), small_kernel("a"), Ns::ZERO), Ok(a));
+        assert_eq!(plain.program(SlotId(1), small_kernel("b"), Ns::ZERO), Ok(b));
     }
 
     #[test]

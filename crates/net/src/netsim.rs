@@ -9,6 +9,7 @@
 use hyperion_sim::fault::FaultPlan;
 use hyperion_sim::resource::Link;
 use hyperion_sim::time::Ns;
+use hyperion_telemetry::{Recorder, SpanId};
 
 use crate::frame::wire_bytes_for_message;
 use crate::params;
@@ -69,6 +70,32 @@ impl std::error::Error for NetError {}
 struct Node {
     uplink: Link,
     downlink: Link,
+}
+
+/// Utilization observer for one traced delivery: claims the wire windows
+/// the message occupies and labels `span`'s queueing edge with the link
+/// that gated it. Every method no-ops while the recorder's utilization
+/// plane is disabled (not even the resource-id string is built).
+struct DeliveryObs<'a> {
+    rec: &'a mut Recorder,
+    span: Option<SpanId>,
+}
+
+impl DeliveryObs<'_> {
+    fn claim(&mut self, dir: &str, node: NodeId, start: Ns, end: Ns) {
+        if self.rec.util_enabled() {
+            self.rec
+                .claim_busy(&format!("net:{dir}:{}", node.0), start, end);
+        }
+    }
+
+    fn edge(&mut self, ready: Ns, dir: &str, node: NodeId) {
+        let Some(span) = self.span else { return };
+        if self.rec.util_enabled() {
+            self.rec
+                .queue_edge_labeled(span, ready, &format!("net:{dir}:{}", node.0));
+        }
+    }
 }
 
 /// The rack network.
@@ -160,6 +187,36 @@ impl Network {
         now: Ns,
         bytes: u64,
     ) -> Result<Ns, NetError> {
+        self.deliver_inner(src, dst, now, bytes, None)
+    }
+
+    /// [`Network::deliver`] with utilization instrumentation: the wire
+    /// windows the message occupies are claimed busy on
+    /// `net:uplink:<src>` / `net:downlink:<dst>`, and when the message
+    /// had to wait for a busy wire, `span` (if given) gets a queueing
+    /// edge labeled with the gating link. Timing and fault behavior are
+    /// identical to `deliver`; with the recorder's utilization plane
+    /// disabled this records nothing at all.
+    pub fn deliver_traced(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: Ns,
+        bytes: u64,
+        rec: &mut Recorder,
+        span: Option<SpanId>,
+    ) -> Result<Ns, NetError> {
+        self.deliver_inner(src, dst, now, bytes, Some(DeliveryObs { rec, span }))
+    }
+
+    fn deliver_inner(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: Ns,
+        bytes: u64,
+        mut obs: Option<DeliveryObs<'_>>,
+    ) -> Result<Ns, NetError> {
         let wire = wire_bytes_for_message(bytes);
         if src.0 >= self.nodes.len() {
             return Err(NetError::UnknownNode(src.0));
@@ -182,7 +239,10 @@ impl Network {
             if self.faults.fires(FAULT_NET_DROP, now) {
                 // The frame still occupies the uplink until the drop point.
                 if src != dst {
-                    self.nodes[src.0].uplink.transmit(now, wire);
+                    let (s, e, _) = self.nodes[src.0].uplink.transmit_interval(now, wire);
+                    if let Some(o) = obs.as_mut() {
+                        o.claim("uplink", src, s, e);
+                    }
                 }
                 return Err(NetError::Dropped);
             }
@@ -195,7 +255,10 @@ impl Network {
                 if src != dst {
                     // The sender's frame still leaves its NIC; the loss is
                     // invisible until the sender's timeout expires.
-                    self.nodes[src.0].uplink.transmit(now, wire);
+                    let (s, e, _) = self.nodes[src.0].uplink.transmit_interval(now, wire);
+                    if let Some(o) = obs.as_mut() {
+                        o.claim("uplink", src, s, e);
+                    }
                 }
                 return Err(NetError::Dropped);
             }
@@ -204,11 +267,25 @@ impl Network {
             // Loopback: no wire traversal, one switch-latency hop.
             return Ok(now + self.switch_latency);
         }
-        let up_done = self.nodes[src.0].uplink.transmit(now, wire);
+        let (up_start, up_end, up_done) = self.nodes[src.0].uplink.transmit_interval(now, wire);
         let at_switch = up_done + self.switch_latency;
         // Cut-through at message granularity: the downlink starts no
         // earlier than the head arrives and re-serializes the wire bytes.
-        let delivered = self.nodes[dst.0].downlink.transmit(at_switch, wire);
+        let (down_start, down_end, delivered) = self.nodes[dst.0]
+            .downlink
+            .transmit_interval(at_switch, wire);
+        if let Some(o) = obs.as_mut() {
+            o.claim("uplink", src, up_start, up_end);
+            o.claim("downlink", dst, down_start, down_end);
+            // The dominant wire wait labels the span's queueing edge:
+            // downlink congestion (incast) wins over uplink congestion
+            // because it gates later in the path.
+            if down_start > at_switch {
+                o.edge(down_start, "downlink", dst);
+            } else if up_start > now {
+                o.edge(up_start, "uplink", src);
+            }
+        }
         if !self.faults.is_empty() && self.faults.fires(FAULT_NET_CORRUPT, delivered) {
             // Full wire time paid; the checksum fails on arrival.
             return Err(NetError::Corrupted {

@@ -8,7 +8,7 @@
 
 use hyperion_sim::rng::SplitMix64;
 use hyperion_sim::time::Ns;
-use hyperion_telemetry::{Component, Recorder};
+use hyperion_telemetry::{Component, Recorder, SpanId};
 
 use crate::frame::packets_for_message;
 use crate::netsim::{NetError, Network, NodeId};
@@ -287,12 +287,31 @@ impl Transport {
         now: Ns,
         bytes: u64,
     ) -> Result<Delivery, NetError> {
+        self.send_obs(net, from, to, now, bytes, None)
+    }
+
+    /// [`Transport::send`] with optional utilization observation: when a
+    /// recorder rides along, the wire windows are claimed busy on the
+    /// links ([`Network::deliver_traced`]) and a busy-wire wait labels
+    /// `span`'s queueing edge. Timing is identical to `send`.
+    fn send_obs(
+        &self,
+        net: &mut Network,
+        from: Endpoint,
+        to: Endpoint,
+        now: Ns,
+        bytes: u64,
+        obs: Option<(&mut Recorder, Option<SpanId>)>,
+    ) -> Result<Delivery, NetError> {
         let start = now + self.tx_cost(from.kind, bytes);
         let rounds = self.extra_rounds(bytes);
         // Each extra round costs one base RTT of control traffic before
         // the tail of the data lands.
         let round_penalty = net.base_latency(64) * rounds;
-        let arrival = net.deliver(from.node, to.node, start, bytes)?;
+        let arrival = match obs {
+            Some((rec, span)) => net.deliver_traced(from.node, to.node, start, bytes, rec, span)?,
+            None => net.deliver(from.node, to.node, start, bytes)?,
+        };
         let done = arrival + round_penalty + self.rx_cost(to.kind, bytes);
         Ok(Delivery {
             done,
@@ -368,7 +387,7 @@ impl Transport {
         let mut t = now;
         let mut result = Err(NetError::Exhausted { attempts });
         for attempt in 0..attempts {
-            match self.send(net, from, to, t, bytes) {
+            match self.send_obs(net, from, to, t, bytes, Some((rec, None))) {
                 Ok(d) => {
                     result = Ok(ReliableDelivery {
                         done: d.done,
@@ -380,16 +399,19 @@ impl Transport {
                 Err(NetError::Dropped) => {
                     rec.bump("net:timeouts");
                     rec.bump("net:retries");
+                    rec.instant("fault:net:drop", t);
                     t += policy.timeout + policy.backoff(attempt);
                 }
                 Err(NetError::Corrupted { delivered_at }) => {
                     rec.bump("net:corrupt");
                     rec.bump("net:retries");
+                    rec.instant("fault:net:corrupt", delivered_at);
                     t = delivered_at.max(t) + policy.backoff(attempt);
                 }
                 Err(NetError::LinkDown { until }) => {
                     rec.bump("net:link_down");
                     rec.bump("net:retries");
+                    rec.instant("fault:net:flap", t);
                     t = until.max(t) + policy.backoff(attempt);
                 }
                 Err(e) => {
@@ -481,7 +503,16 @@ impl Transport {
         let mut t = now;
         let mut result = Err(NetError::Exhausted { attempts });
         for attempt in 0..attempts {
-            match self.request(net, client, server, t, req_bytes, resp_bytes, server_work) {
+            match self.request_obs(
+                net,
+                client,
+                server,
+                t,
+                req_bytes,
+                resp_bytes,
+                server_work,
+                Some(rec),
+            ) {
                 Ok(d) => {
                     result = Ok(ReliableDelivery {
                         done: d.done,
@@ -493,16 +524,19 @@ impl Transport {
                 Err(NetError::Dropped) => {
                     rec.bump("net:timeouts");
                     rec.bump("net:retries");
+                    rec.instant("fault:net:drop", t);
                     t += policy.timeout + policy.backoff(attempt);
                 }
                 Err(NetError::Corrupted { delivered_at }) => {
                     rec.bump("net:corrupt");
                     rec.bump("net:retries");
+                    rec.instant("fault:net:corrupt", delivered_at);
                     t = delivered_at.max(t) + policy.backoff(attempt);
                 }
                 Err(NetError::LinkDown { until }) => {
                     rec.bump("net:link_down");
                     rec.bump("net:retries");
+                    rec.instant("fault:net:flap", t);
                     t = until.max(t) + policy.backoff(attempt);
                 }
                 Err(e) => {
@@ -547,9 +581,49 @@ impl Transport {
         resp_bytes: u64,
         server_work: Ns,
     ) -> Result<Delivery, NetError> {
-        let req = self.send(net, client, server, now, req_bytes)?;
+        self.request_obs(
+            net,
+            client,
+            server,
+            now,
+            req_bytes,
+            resp_bytes,
+            server_work,
+            None,
+        )
+    }
+
+    /// [`Transport::request`] with optional utilization observation on
+    /// both legs (see [`Transport::send_obs`]). Timing is identical.
+    #[allow(clippy::too_many_arguments)]
+    fn request_obs(
+        &self,
+        net: &mut Network,
+        client: Endpoint,
+        server: Endpoint,
+        now: Ns,
+        req_bytes: u64,
+        resp_bytes: u64,
+        server_work: Ns,
+        mut rec: Option<&mut Recorder>,
+    ) -> Result<Delivery, NetError> {
+        let req = self.send_obs(
+            net,
+            client,
+            server,
+            now,
+            req_bytes,
+            rec.as_deref_mut().map(|r| (r, None)),
+        )?;
         let served = req.done + server_work;
-        let resp = self.send(net, server, client, served, resp_bytes)?;
+        let resp = self.send_obs(
+            net,
+            server,
+            client,
+            served,
+            resp_bytes,
+            rec.map(|r| (r, None)),
+        )?;
         Ok(Delivery {
             done: resp.done,
             wire_rounds: 1 + req.wire_rounds + resp.wire_rounds,
@@ -562,6 +636,11 @@ impl Transport {
     /// (TCP slow-start windows, Homa's grant round), the span gets a
     /// queueing edge of that length: the head of the delivery was spent
     /// waiting on the protocol, not moving payload bytes.
+    ///
+    /// With the recorder's utilization plane enabled the wire windows are
+    /// additionally claimed busy on `net:uplink:<src>` /
+    /// `net:downlink:<dst>`, and a busy-wire wait relabels the span's
+    /// queueing edge with the gating link (the latest resource wait wins).
     pub fn send_traced(
         &self,
         net: &mut Network,
@@ -576,7 +655,7 @@ impl Transport {
         if rounds > 0 {
             rec.queue_edge(span, now + net.base_latency(64) * rounds);
         }
-        match self.send(net, from, to, now, bytes) {
+        match self.send_obs(net, from, to, now, bytes, Some((rec, Some(span)))) {
             Ok(d) => {
                 rec.close(span, d.done);
                 Ok(d)
@@ -843,6 +922,65 @@ mod tests {
         assert_eq!(rec.counter("net:gave_up"), 1);
         assert_eq!(rec.queue_edges().len(), 1);
         assert_eq!(rec.open_spans(), 0);
+    }
+
+    #[test]
+    fn traced_send_claims_links_and_labels_incast_waits() {
+        // Two senders incast into one sink: the second send queues on the
+        // sink's downlink and its span edge must carry that link's id.
+        let mut net = Network::new();
+        let sink = Endpoint::new(net.add_node(), EndpointKind::Hardware);
+        let s1 = Endpoint::new(net.add_node(), EndpointKind::Hardware);
+        let s2 = Endpoint::new(net.add_node(), EndpointKind::Hardware);
+        let tr = Transport::new(TransportKind::Udp);
+        let mut rec = Recorder::new("incast");
+        rec.enable_util();
+        let a = tr.send_traced(&mut net, s1, sink, Ns::ZERO, 1 << 20, &mut rec);
+        let b = tr.send_traced(&mut net, s2, sink, Ns::ZERO, 1 << 20, &mut rec);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert!(b.done > a.done);
+        for id in ["net:uplink:1", "net:uplink:2", "net:downlink:0"] {
+            assert!(
+                rec.util().resource(id).is_some(),
+                "missing utilization for {id}"
+            );
+        }
+        // Both megabyte bursts serialize on the shared downlink: its busy
+        // time is twice an uplink's.
+        let down = rec.util().resource("net:downlink:0").unwrap().busy_ns();
+        let up = rec.util().resource("net:uplink:1").unwrap().busy_ns();
+        assert_eq!(down, Ns(up.0 * 2));
+        assert_eq!(rec.edge_resources().len(), 1);
+        assert_eq!(rec.edge_resources()[0].1, "net:downlink:0");
+        // Timing parity with the untraced path.
+        let mut plain = Network::new();
+        let p_sink = Endpoint::new(plain.add_node(), EndpointKind::Hardware);
+        let p1 = Endpoint::new(plain.add_node(), EndpointKind::Hardware);
+        let p2 = Endpoint::new(plain.add_node(), EndpointKind::Hardware);
+        assert_eq!(
+            tr.send(&mut plain, p1, p_sink, Ns::ZERO, 1 << 20).unwrap(),
+            a
+        );
+        assert_eq!(
+            tr.send(&mut plain, p2, p_sink, Ns::ZERO, 1 << 20).unwrap(),
+            b
+        );
+    }
+
+    #[test]
+    fn traced_fault_arms_leave_instants() {
+        use hyperion_sim::fault::FaultPlan;
+        let (mut net, a, b) = pair(EndpointKind::Hardware);
+        net.set_fault_plan(FaultPlan::seeded(5).bernoulli(crate::netsim::FAULT_NET_DROP, 1.0));
+        let tr = Transport::new(TransportKind::Udp);
+        let mut rec = Recorder::new("instants");
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::DEFAULT
+        };
+        let _ = tr.send_reliable_traced(&mut net, a, b, Ns::ZERO, 64, &policy, &mut rec);
+        assert_eq!(rec.instants().len(), 2);
+        assert!(rec.instants().iter().all(|(n, _)| n == "fault:net:drop"));
     }
 
     #[test]

@@ -374,15 +374,26 @@ impl NvmeDevice {
         rec: &mut Recorder,
     ) -> Result<Completion, NvmeError> {
         rec.gauge("nvme:queue_depth", self.queue_depth_at(now) as u64);
+        let util = rec.util_enabled();
         let span = rec.open(Component::Nvme, cmd.label(), now);
         // The command reaches the flash after controller overhead; only
         // LBA-addressed ops map to a die we can query up front.
         if let Command::Read { lba, .. } | Command::Write { lba, .. } = &cmd {
             let arrive = now + params::CONTROLLER_OVERHEAD;
-            let wait = self.flash.queue_wait(Self::page_of(*lba), arrive);
+            let page = Self::page_of(*lba);
+            let wait = self.flash.queue_wait(page, arrive);
             if wait > Ns::ZERO {
-                rec.queue_edge(span, arrive + wait);
+                if util {
+                    let (_, die) = self.flash.placement(page);
+                    rec.queue_edge_labeled(span, arrive + wait, &format!("nvme:die{die}"));
+                } else {
+                    rec.queue_edge(span, arrive + wait);
+                }
             }
+        }
+        if util {
+            rec.depth_sample("nvme:sq", now, self.queue_depth_at(now) as u64);
+            self.flash.begin_trace();
         }
         let recovery_before = [
             self.counters.get("media_errors"),
@@ -392,6 +403,16 @@ impl NvmeDevice {
             self.counters.get("media_failures"),
         ];
         let result = self.submit(cmd, now);
+        if util {
+            for c in self.flash.end_trace() {
+                let id = if c.channel {
+                    format!("nvme:ch{}", c.index)
+                } else {
+                    format!("nvme:die{}", c.index)
+                };
+                rec.claim_busy(&id, c.start, c.end);
+            }
+        }
         for (name, before) in [
             "nvme:media_errors",
             "nvme:read_retries",
@@ -405,6 +426,7 @@ impl NvmeDevice {
             let after = self.counters.get(name.trim_start_matches("nvme:"));
             if after > before {
                 rec.count(name, after - before);
+                rec.instant(&format!("fault:{name}"), now);
             }
         }
         match result {
@@ -956,6 +978,57 @@ mod tests {
         };
         assert_eq!(run(1), clean + params::READ_LATENCY * 8);
         assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn traced_submit_claims_flash_and_labels_die_contention() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        let mut rec = Recorder::new("nvme-util");
+        rec.enable_util();
+        let a = d
+            .submit_traced(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO, &mut rec)
+            .unwrap();
+        // Same page again at t=0: queues on the same die, so the second
+        // span's queueing edge must blame that die.
+        let b = d
+            .submit_traced(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO, &mut rec)
+            .unwrap();
+        assert!(b.done > a.done);
+        let die = rec.util().resource("nvme:die0").expect("die claimed");
+        assert_eq!(die.busy_ns(), params::READ_LATENCY * 2);
+        assert!(rec.util().resource("nvme:ch0").is_some());
+        assert_eq!(rec.edge_resources().len(), 1);
+        assert_eq!(rec.edge_resources()[0].1, "nvme:die0");
+        // Timing parity with the untraced path.
+        let mut plain = NvmeDevice::new_block(1 << 20);
+        let pa = plain
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        let pb = plain
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap();
+        assert_eq!((pa.done, pb.done), (a.done, b.done));
+    }
+
+    #[test]
+    fn traced_media_fault_leaves_instants() {
+        let mut d = NvmeDevice::new_block(1 << 20);
+        let clean = d
+            .submit(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO)
+            .unwrap()
+            .done;
+        let mut d2 = NvmeDevice::new_block(1 << 20);
+        d2.set_fault_plan(FaultPlan::seeded(3).window(
+            FAULT_NVME_MEDIA_READ,
+            Ns::ZERO,
+            clean + Ns(1),
+        ));
+        let mut rec = Recorder::new("nvme-faults");
+        d2.submit_traced(Command::Read { lba: 0, blocks: 1 }, Ns::ZERO, &mut rec)
+            .unwrap();
+        let names: Vec<&str> = rec.instants().iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"fault:nvme:media_errors"));
+        assert!(names.contains(&"fault:nvme:remaps"));
     }
 
     #[test]

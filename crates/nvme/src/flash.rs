@@ -22,6 +22,20 @@ pub enum FlashOp {
     Erase,
 }
 
+/// One busy window recorded while flash tracing is active: which station
+/// (channel bus or die) was occupied, and for what interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashClaim {
+    /// True for a channel-bus window, false for a die window.
+    pub channel: bool,
+    /// Channel or die index.
+    pub index: usize,
+    /// Window start.
+    pub start: Ns,
+    /// Window end (exclusive).
+    pub end: Ns,
+}
+
 /// The timing model of one SSD's NAND array.
 #[derive(Debug)]
 pub struct FlashArray {
@@ -30,6 +44,9 @@ pub struct FlashArray {
     reads: u64,
     programs: u64,
     erases: u64,
+    /// Busy windows accumulated while tracing is on (utilization plane);
+    /// `None` means tracing is off and accesses pay no logging cost.
+    log: Option<Vec<FlashClaim>>,
 }
 
 impl FlashArray {
@@ -56,7 +73,36 @@ impl FlashArray {
             reads: 0,
             programs: 0,
             erases: 0,
+            log: None,
         }
+    }
+
+    /// Starts recording busy windows; pair with [`FlashArray::end_trace`].
+    pub fn begin_trace(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the busy windows claimed since
+    /// [`FlashArray::begin_trace`], in execution order.
+    pub fn end_trace(&mut self) -> Vec<FlashClaim> {
+        self.log.take().unwrap_or_default()
+    }
+
+    fn log_claim(&mut self, channel: bool, index: usize, start: Ns, end: Ns) {
+        if let Some(log) = &mut self.log {
+            log.push(FlashClaim {
+                channel,
+                index,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// The `(channel, die)` a page maps to — the resource ids utilization
+    /// accounting and edge labels use.
+    pub fn placement(&self, page: u64) -> (usize, usize) {
+        self.locate(page)
     }
 
     fn locate(&self, page: u64) -> (usize, usize) {
@@ -75,19 +121,27 @@ impl FlashArray {
             FlashOp::Read => {
                 self.reads += 1;
                 // Sense in the die, then move the page over the channel.
-                let sensed = self.dies[die].access(now, params::READ_LATENCY);
-                self.channels[ch].access(sensed, bus)
+                let (ds, de) = self.dies[die].access_interval(now, params::READ_LATENCY);
+                let (cs, ce) = self.channels[ch].access_interval(de, bus);
+                self.log_claim(false, die, ds, de);
+                self.log_claim(true, ch, cs, ce);
+                ce
             }
             FlashOp::Program => {
                 self.programs += 1;
                 // Move data over the channel into the die's page register,
                 // then program.
-                let loaded = self.channels[ch].access(now, bus);
-                self.dies[die].access(loaded, params::PROGRAM_LATENCY)
+                let (cs, ce) = self.channels[ch].access_interval(now, bus);
+                let (ds, de) = self.dies[die].access_interval(ce, params::PROGRAM_LATENCY);
+                self.log_claim(true, ch, cs, ce);
+                self.log_claim(false, die, ds, de);
+                de
             }
             FlashOp::Erase => {
                 self.erases += 1;
-                self.dies[die].access(now, params::ERASE_LATENCY)
+                let (ds, de) = self.dies[die].access_interval(now, params::ERASE_LATENCY);
+                self.log_claim(false, die, ds, de);
+                de
             }
         }
     }

@@ -141,6 +141,11 @@ impl PcieLink {
     /// serialization, and the hop latency, plus a link queue-wait gauge.
     /// A non-zero queue wait becomes a queueing edge on the span, so the
     /// critical-path analyzer can split link occupancy from service.
+    ///
+    /// With the utilization plane enabled the serialization window is
+    /// claimed busy on `pcie:<link>`, the queueing edge carries that
+    /// resource as its label, and a retrain stall leaves a
+    /// `fault:pcie:retrain` instant — all no-ops otherwise.
     pub fn transfer_traced(&mut self, now: Ns, bytes: u64, rec: &mut Recorder) -> Ns {
         // Resolve the retrain stall first so the queue-wait gauge and the
         // queueing edge both cover time the TLPs could not move, whether
@@ -148,15 +153,23 @@ impl PcieLink {
         let start = self.release_after_retrain(now);
         if start > now {
             rec.bump("pcie:retrain_stalls");
+            rec.instant("fault:pcie:retrain", now);
         }
         let ready = start + self.queue_wait(start);
         rec.gauge("pcie:link_queue_wait_ns", (ready - now).0);
         let span = rec.open(Component::Pcie, self.wire.name(), now);
-        if ready > now {
+        let svc = serialization_delay(bytes, self.bandwidth_bps());
+        let (ser_start, ser_end) = self.wire.access_interval(start, svc);
+        let done = ser_end + HOP_LATENCY;
+        if rec.util_enabled() {
+            let id = format!("pcie:{}", self.wire.name());
+            rec.claim_busy(&id, ser_start, ser_end);
+            if ready > now {
+                rec.queue_edge_labeled(span, ready, &id);
+            }
+        } else if ready > now {
             rec.queue_edge(span, ready);
         }
-        let svc = serialization_delay(bytes, self.bandwidth_bps());
-        let done = self.wire.access(start, svc) + HOP_LATENCY;
         rec.close(span, done);
         done
     }
@@ -422,6 +435,30 @@ mod tests {
         assert!(done > Ns(30_000));
         assert_eq!(rec.counter("pcie:retrain_stalls"), 1);
         assert_eq!(rec.queue_edges().len(), 1, "stall must be a queue edge");
+    }
+
+    #[test]
+    fn traced_transfer_claims_the_wire_and_labels_the_edge() {
+        use hyperion_telemetry::Recorder;
+        let mut l = PcieLink::new("pcie-x4-0", PcieGen::Gen3, 4);
+        let mut rec = Recorder::new("pcie-util");
+        rec.enable_util();
+        // Two back-to-back transfers: the second queues on the wire.
+        let a = l.transfer_traced(Ns::ZERO, 64 * 1024, &mut rec);
+        let b = l.transfer_traced(Ns::ZERO, 64 * 1024, &mut rec);
+        assert!(b > a);
+        let r = rec.util().resource("pcie:pcie-x4-0").expect("claimed");
+        assert_eq!(r.claims(), 2);
+        // Back-to-back serialization coalesces into one busy interval
+        // covering both transfers (done minus the hop latency).
+        assert_eq!(r.intervals(), &[(0, (b - HOP_LATENCY).0)]);
+        // The queued transfer's edge is labeled with the wire.
+        assert_eq!(rec.edge_resources().len(), 1);
+        assert_eq!(rec.edge_resources()[0].1, "pcie:pcie-x4-0");
+        // Timing identical to the untraced path.
+        let mut plain = PcieLink::new("pcie-x4-0", PcieGen::Gen3, 4);
+        assert_eq!(plain.transfer(Ns::ZERO, 64 * 1024), a);
+        assert_eq!(plain.transfer(Ns::ZERO, 64 * 1024), b);
     }
 
     #[test]

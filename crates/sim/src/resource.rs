@@ -61,6 +61,14 @@ impl Resource {
     /// Service is FIFO: the request takes the earliest-free server, waiting
     /// if all are busy.
     pub fn access(&mut self, now: Ns, service: Ns) -> Ns {
+        self.access_interval(now, service).1
+    }
+
+    /// [`Resource::access`], also returning when service began: the
+    /// request's exact busy window `[start, done)` on the server it took.
+    /// Utilization instrumentation claims this window; the timing is
+    /// identical to `access`.
+    pub fn access_interval(&mut self, now: Ns, service: Ns) -> (Ns, Ns) {
         let (idx, free_at) = self
             .servers
             .iter()
@@ -73,7 +81,7 @@ impl Resource {
         self.servers[idx] = done;
         self.busy += service;
         self.jobs += 1;
-        done
+        (start, done)
     }
 
     /// Returns the earliest instant at which a new request arriving at `now`
@@ -146,8 +154,17 @@ impl Link {
     /// Transmits `bytes` starting no earlier than `now`; returns the instant
     /// the last bit arrives at the far end.
     pub fn transmit(&mut self, now: Ns, bytes: u64) -> Ns {
+        self.transmit_interval(now, bytes).2
+    }
+
+    /// [`Link::transmit`], also returning the wire's busy window: `(ser
+    /// start, ser end, arrival)`. The wire is occupied for `[start, end)`;
+    /// the last bit lands at `arrival = end + propagation`. Same timing as
+    /// `transmit`.
+    pub fn transmit_interval(&mut self, now: Ns, bytes: u64) -> (Ns, Ns, Ns) {
         let ser = serialization_delay(bytes, self.bits_per_sec);
-        self.line.access(now, ser) + self.propagation
+        let (start, end) = self.line.access_interval(now, ser);
+        (start, end, end + self.propagation)
     }
 
     /// The link's one-way propagation delay.
@@ -223,6 +240,20 @@ mod tests {
         let b = l.transmit(Ns(0), 125);
         assert_eq!(a, Ns(2000)); // 1000 ser + 1000 prop
         assert_eq!(b, Ns(3000)); // waits for the wire, then overlapping flight
+    }
+
+    #[test]
+    fn access_interval_reports_the_busy_window() {
+        let mut r = Resource::new("r", 1);
+        assert_eq!(r.access_interval(Ns(0), Ns(10)), (Ns(0), Ns(10)));
+        // Queued request: starts when the wire frees, not at arrival.
+        assert_eq!(r.access_interval(Ns(5), Ns(10)), (Ns(10), Ns(20)));
+        let mut l = Link::new("l", 1_000_000_000, Ns(1000));
+        assert_eq!(l.transmit_interval(Ns(0), 125), (Ns(0), Ns(1000), Ns(2000)));
+        assert_eq!(
+            l.transmit_interval(Ns(0), 125),
+            (Ns(1000), Ns(2000), Ns(3000))
+        );
     }
 
     #[test]

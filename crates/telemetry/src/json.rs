@@ -50,6 +50,16 @@ fn escape(s: &str) -> String {
 /// `hops`/`ops`/`gauges`/`counters` are sorted by key; `spans` and
 /// `queue_edges` keep insertion order (parents precede children by
 /// construction).
+///
+/// Three further sections appear only when non-empty, so runs that never
+/// enable the utilization plane or record an instant dump byte-identically
+/// to builds that predate them:
+///
+/// ```json
+///   "edge_resources": [ {"span","resource"} ],
+///   "util": [ {"resource","claims","busy_ns","intervals","first_ns","last_ns","depth_samples","peak_depth"} ],
+///   "instants": [ {"name","at_ns"} ]
+/// ```
 pub fn to_json(rec: &Recorder) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -181,7 +191,67 @@ pub fn to_json(rec: &Recorder) -> String {
         );
         out.push_str(if i + 1 < edges.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+
+    // Labeled queue edges (only recorded while the utilization plane is
+    // on), insertion order.
+    let labels = rec.edge_resources();
+    if !labels.is_empty() {
+        out.push_str(",\n  \"edge_resources\": [\n");
+        for (i, (s, resource)) in labels.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"span\": {}, \"resource\": \"{}\"}}",
+                s.as_index(),
+                escape(resource)
+            );
+            out.push_str(if i + 1 < labels.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+    }
+
+    // Utilization plane: one summary row per resource, sorted by id. The
+    // full interval set stays in memory for the blame pass; the dump
+    // carries the deterministic digest (count, measure, extent).
+    if !rec.util().is_empty() {
+        let mut resources: Vec<_> = rec.util().resources().iter().collect();
+        resources.sort_by_key(|r| r.id());
+        out.push_str(",\n  \"util\": [\n");
+        for (i, r) in resources.iter().enumerate() {
+            let first = r.intervals().first().map_or(0, |(s, _)| *s);
+            let last = r.intervals().last().map_or(0, |(_, e)| *e);
+            let _ = write!(
+                out,
+                "    {{\"resource\": \"{}\", \"claims\": {}, \"busy_ns\": {}, \"intervals\": {}, \"first_ns\": {first}, \"last_ns\": {last}, \"depth_samples\": {}, \"peak_depth\": {}}}",
+                escape(r.id()),
+                r.claims(),
+                r.busy_ns().0,
+                r.intervals().len(),
+                r.depth_samples().len(),
+                r.peak_depth(),
+            );
+            out.push_str(if i + 1 < resources.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+    }
+
+    // Instant events (fault injections, epoch bumps), insertion order.
+    let instants = rec.instants();
+    if !instants.is_empty() {
+        out.push_str(",\n  \"instants\": [\n");
+        for (i, (name, at)) in instants.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"at_ns\": {}}}",
+                escape(name),
+                at.0
+            );
+            out.push_str(if i + 1 < instants.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+    }
+
+    out.push_str("\n}\n");
     out
 }
 
@@ -232,5 +302,41 @@ mod tests {
     #[test]
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn util_sections_only_appear_when_populated() {
+        // Baseline recorder (plane disabled): none of the new keys.
+        let j = to_json(&sample());
+        for key in ["\"edge_resources\"", "\"util\"", "\"instants\""] {
+            assert!(!j.contains(key), "unexpected {key} in baseline dump");
+        }
+
+        let with_util = || {
+            let mut r = sample();
+            r.enable_util();
+            r.claim_busy("nvme:ch0", Ns(10), Ns(40));
+            r.claim_busy("nvme:ch0", Ns(30), Ns(60));
+            r.depth_sample("nvme:ch0", Ns(10), 2);
+            let s = r.open(Component::Nvme, "read", Ns(70));
+            r.queue_edge_labeled(s, Ns(80), "nvme:ch0");
+            r.close(s, Ns(90));
+            r.instant("fault:nvme:media_read", Ns(15));
+            r
+        };
+        let j = to_json(&with_util());
+        assert!(j.contains(
+            "{\"resource\": \"nvme:ch0\", \"claims\": 2, \"busy_ns\": 50, \"intervals\": 1, \"first_ns\": 10, \"last_ns\": 60, \"depth_samples\": 1, \"peak_depth\": 2}"
+        ), "{j}");
+        assert!(
+            j.contains("{\"span\": 2, \"resource\": \"nvme:ch0\"}"),
+            "{j}"
+        );
+        assert!(
+            j.contains("{\"name\": \"fault:nvme:media_read\", \"at_ns\": 15}"),
+            "{j}"
+        );
+        // Same construction twice → byte-identical dump.
+        assert_eq!(to_json(&with_util()), to_json(&with_util()));
     }
 }

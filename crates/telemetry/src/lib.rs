@@ -21,7 +21,13 @@
 //!   openable directly in `ui.perfetto.dev`;
 //! * [`critical_path`] — per-request nanosecond attribution over span
 //!   nesting and queueing edges, with the invariant that per-hop self
-//!   times sum *exactly* to end-to-end latency.
+//!   times sum *exactly* to end-to-end latency;
+//! * [`util`] — the utilization plane: opt-in busy/occupancy accounting
+//!   per resource (net links, PCIe lanes, NVMe channels, fabric slots)
+//!   plus the bottleneck-attribution pass ([`util::blame`]) that joins it
+//!   with the critical-path queue edges;
+//! * [`registry`] — the closed set of `component:metric` counter/gauge
+//!   names the instrumented layers may emit.
 //!
 //! Everything here follows the workspace's simulation contract: no
 //! wall-clock reads, no ambient state, integer virtual time.
@@ -33,13 +39,16 @@ pub mod critical_path;
 pub mod json;
 pub mod power;
 pub mod recorder;
+pub mod registry;
 pub mod span;
 pub mod trace;
+pub mod util;
 
 pub use critical_path::{HopAttribution, RequestPath};
 pub use recorder::{Gauge, HopRow, Recorder};
 pub use span::{Component, SpanId};
 pub use trace::to_perfetto;
+pub use util::{blame, BlameReport, BlameRow, ResourceUtil, UtilPlane};
 
 pub use hyperion_sim::stats::Histogram;
 pub use hyperion_sim::time::Ns;

@@ -18,6 +18,7 @@ use hyperion_sim::time::Ns;
 
 use crate::power;
 use crate::span::{Component, Span, SpanId};
+use crate::util::UtilPlane;
 
 /// Retained-span bound: histograms and energy keep aggregating past it,
 /// only the raw tree stops growing (long experiments stay bounded).
@@ -118,6 +119,17 @@ pub struct Recorder {
     /// not start before `ready_at` because an earlier request held the
     /// resource (link occupancy, flash die, protocol grant rounds).
     queue_edges: Vec<(SpanId, Ns)>,
+    /// Which utilization-plane resource a queue edge waited on — the join
+    /// key for bottleneck attribution. Recorded only while the plane is
+    /// enabled, so disabled runs dump byte-identically.
+    edge_resources: Vec<(SpanId, String)>,
+    /// Zero-duration events (fault injections, epoch bumps, failover
+    /// decisions) exported as Perfetto instants. Insertion order is
+    /// virtual-time order by construction at the call sites.
+    instants: Vec<(String, Ns)>,
+    /// The utilization plane (busy intervals + depth timelines); disabled
+    /// by default.
+    util: UtilPlane,
 }
 
 impl Recorder {
@@ -133,6 +145,9 @@ impl Recorder {
             counters: Vec::new(),
             loose_energy: Vec::new(),
             queue_edges: Vec::new(),
+            edge_resources: Vec::new(),
+            instants: Vec::new(),
+            util: UtilPlane::new(),
         }
     }
 
@@ -305,9 +320,71 @@ impl Recorder {
         self.queue_edges.push((id, ready_at));
     }
 
+    /// [`Recorder::queue_edge`] plus the utilization-plane resource the
+    /// span waited on — the join key the bottleneck-attribution pass uses
+    /// (see [`crate::util::blame`]). The label is recorded only while the
+    /// plane is enabled (same determinism contract as the plane itself);
+    /// a second labeled edge on the same span replaces the label too.
+    pub fn queue_edge_labeled(&mut self, id: SpanId, ready_at: Ns, resource: &str) {
+        self.queue_edge(id, ready_at);
+        if !self.util.enabled() || id.as_index() >= self.spans.len() {
+            return;
+        }
+        if let Some(e) = self.edge_resources.iter_mut().find(|(s, _)| *s == id) {
+            resource.clone_into(&mut e.1);
+            return;
+        }
+        self.edge_resources.push((id, resource.to_string()));
+    }
+
     /// Recorded queueing edges, in insertion order.
     pub fn queue_edges(&self) -> &[(SpanId, Ns)] {
         &self.queue_edges
+    }
+
+    /// Labeled queue edges `(span, resource)`, in insertion order.
+    pub fn edge_resources(&self) -> &[(SpanId, String)] {
+        &self.edge_resources
+    }
+
+    /// Records a zero-duration event (fault injection, epoch bump,
+    /// failover decision) at `at`, exported as a Perfetto instant.
+    pub fn instant(&mut self, name: &str, at: Ns) {
+        self.instants.push((name.to_string(), at));
+    }
+
+    /// Recorded instants `(name, at)`, in insertion order.
+    pub fn instants(&self) -> &[(String, Ns)] {
+        &self.instants
+    }
+
+    /// Turns the utilization plane on; claims and depth samples before
+    /// this call are dropped, after it they accumulate.
+    pub fn enable_util(&mut self) {
+        self.util.enable();
+    }
+
+    /// Whether the utilization plane is sampling.
+    pub fn util_enabled(&self) -> bool {
+        self.util.enabled()
+    }
+
+    /// The utilization plane (read side).
+    pub fn util(&self) -> &UtilPlane {
+        &self.util
+    }
+
+    /// Claims `[start, end)` busy on a utilization-plane resource. No-op
+    /// while the plane is disabled; zero-duration claims are ignored and
+    /// overlapping claims merge deterministically.
+    pub fn claim_busy(&mut self, resource: &str, start: Ns, end: Ns) {
+        self.util.claim(resource, start, end);
+    }
+
+    /// Appends a queue-depth / occupancy step sample on a utilization-
+    /// plane resource. No-op while the plane is disabled.
+    pub fn depth_sample(&mut self, resource: &str, at: Ns, value: u64) {
+        self.util.depth(resource, at, value);
     }
 
     /// The queueing edge on one span, if any.
@@ -411,6 +488,15 @@ impl Recorder {
                 self.queue_edges.push((SpanId(s + base), *ready));
             }
         }
+        for (SpanId(s), resource) in &other.edge_resources {
+            if ((*s + base) as usize) < self.spans.len() {
+                self.edge_resources
+                    .push((SpanId(s + base), resource.clone()));
+            }
+        }
+        self.instants
+            .extend(other.instants.iter().map(|(n, t)| (n.clone(), *t)));
+        self.util.merge(&other.util);
         for (c, n, h, t, e) in &other.hops {
             let row = self.hop_entry(*c, n);
             row.2.merge(h);
@@ -584,6 +670,49 @@ mod tests {
         assert_eq!(a.counter("net:retry"), 7);
         assert_eq!(a.counter("net:gave_up"), 1);
         assert_eq!(a.counters().count(), 3);
+    }
+
+    #[test]
+    fn edge_labels_require_an_enabled_util_plane() {
+        let mut r = Recorder::new("gated");
+        let s = r.open(Component::Pcie, "xfer", Ns(0));
+        r.queue_edge_labeled(s, Ns(40), "pcie:x4");
+        r.close(s, Ns(100));
+        // Plane disabled: the edge lands, the label does not.
+        assert_eq!(r.queue_edge_of(s), Some(Ns(40)));
+        assert!(r.edge_resources().is_empty());
+        let mut r = Recorder::new("on");
+        r.enable_util();
+        let s = r.open(Component::Pcie, "xfer", Ns(0));
+        r.queue_edge_labeled(s, Ns(40), "pcie:x4");
+        r.queue_edge_labeled(s, Ns(50), "pcie:x8"); // latest label wins
+        r.close(s, Ns(100));
+        assert_eq!(r.edge_resources(), &[(s, "pcie:x8".to_string())]);
+        assert_eq!(r.queue_edge_of(s), Some(Ns(50)));
+    }
+
+    #[test]
+    fn instants_and_util_survive_merge() {
+        let mut a = Recorder::new("a");
+        a.enable_util();
+        a.claim_busy("net:uplink:0", Ns(0), Ns(10));
+        a.instant("fault:net:drop", Ns(5));
+        let mut b = Recorder::new("b");
+        b.enable_util();
+        b.claim_busy("net:uplink:0", Ns(5), Ns(20));
+        b.instant("cluster:epoch_bump", Ns(9));
+        let sb = b.open(Component::Net, "send", Ns(0));
+        b.queue_edge_labeled(sb, Ns(3), "net:uplink:0");
+        b.close(sb, Ns(20));
+        a.merge(&b);
+        assert_eq!(a.instants().len(), 2);
+        assert_eq!(
+            a.util().resource("net:uplink:0").unwrap().intervals(),
+            &[(0, 20)]
+        );
+        // The labeled edge re-anchored to the rebased span id.
+        assert_eq!(a.edge_resources()[0].0, SpanId::index(0));
+        assert_eq!(a.edge_resources()[0].1, "net:uplink:0");
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //! Each event carries the span's recorder id and parent id in `args`, and
 //! spans with a queueing edge ([`crate::Recorder::queue_edge`]) carry
 //! `queue_ns`: the head of the span that was resource wait, not service.
+//!
+//! Recorders that enabled the utilization plane additionally export one
+//! counter track (`"ph": "C"`) per resource — `util:<id>` steps between 1
+//! and 0 at each busy interval's edges, `depth:<id>` replays the queue-
+//! depth timeline — and every [`crate::Recorder::instant`] (fault
+//! injections, epoch bumps, failover) becomes a process-scoped instant
+//! event (`"ph": "i"`), so recovery behavior lines up against the
+//! saturation it caused on the same timeline.
 
 use std::fmt::Write as _;
 
@@ -94,6 +102,39 @@ pub fn to_perfetto(rec: &Recorder) -> String {
         ));
     }
 
+    // Instant events, insertion (virtual-time) order, process-scoped.
+    for (name, at) in rec.instants() {
+        events.push(format!(
+            "    {{\"ph\": \"i\", \"pid\": 1, \"tid\": 0, \"ts\": {}, \"name\": \"{}\", \"s\": \"p\", \"cat\": \"instant\"}}",
+            micros(at.0),
+            escape(name),
+        ));
+    }
+
+    // Utilization counter tracks, one pair per resource, sorted by id:
+    // `util:<id>` is a 0/1 square wave over the busy intervals,
+    // `depth:<id>` replays the depth timeline.
+    let mut resources: Vec<_> = rec.util().resources().iter().collect();
+    resources.sort_by_key(|r| r.id());
+    for r in resources {
+        for &(s, e) in r.intervals() {
+            for (t, v) in [(s, 1), (e, 0)] {
+                events.push(format!(
+                    "    {{\"ph\": \"C\", \"pid\": 1, \"ts\": {}, \"name\": \"util:{}\", \"args\": {{\"busy\": {v}}}}}",
+                    micros(t),
+                    escape(r.id()),
+                ));
+            }
+        }
+        for &(at, v) in r.depth_samples() {
+            events.push(format!(
+                "    {{\"ph\": \"C\", \"pid\": 1, \"ts\": {}, \"name\": \"depth:{}\", \"args\": {{\"depth\": {v}}}}}",
+                micros(at.0),
+                escape(r.id()),
+            ));
+        }
+    }
+
     out.push_str(&events.join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
@@ -134,6 +175,40 @@ mod tests {
         assert!(t.contains("\"dur\": 8.500"), "{t}");
         assert!(t.contains("\"queue_ns\": 250"), "{t}");
         assert!(t.contains("\"parent\": 0"));
+    }
+
+    #[test]
+    fn counters_and_instants_export_when_present() {
+        let t = to_perfetto(&sample());
+        assert!(!t.contains("\"ph\": \"C\""));
+        assert!(!t.contains("\"ph\": \"i\""));
+
+        let mut r = sample();
+        r.enable_util();
+        r.claim_busy("nvme:ch0", Ns(2_000), Ns(6_500));
+        r.depth_sample("nvme:ch0", Ns(2_000), 3);
+        r.instant("fault:nvme:media_read", Ns(4_000));
+        let t = to_perfetto(&r);
+        assert!(
+            t.contains(
+                "{\"ph\": \"C\", \"pid\": 1, \"ts\": 2.000, \"name\": \"util:nvme:ch0\", \"args\": {\"busy\": 1}}"
+            ),
+            "{t}"
+        );
+        assert!(
+            t.contains("\"ts\": 6.500, \"name\": \"util:nvme:ch0\", \"args\": {\"busy\": 0}"),
+            "{t}"
+        );
+        assert!(
+            t.contains("\"name\": \"depth:nvme:ch0\", \"args\": {\"depth\": 3}"),
+            "{t}"
+        );
+        assert!(
+            t.contains(
+                "{\"ph\": \"i\", \"pid\": 1, \"tid\": 0, \"ts\": 4.000, \"name\": \"fault:nvme:media_read\", \"s\": \"p\", \"cat\": \"instant\"}"
+            ),
+            "{t}"
+        );
     }
 
     #[test]

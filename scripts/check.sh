@@ -35,6 +35,26 @@ cargo run --release -q -p hyperion-bench --bin report -- e14 > "$FAULTS_B"
 diff -u "$FAULTS_A" "$FAULTS_B"
 grep -q "unavail" "$FAULTS_A"
 
+echo "==> bottleneck smoke (e15: blame attribution must replay byte-identically)"
+# The utilization plane and blame pass are pure functions of the virtual
+# clock; two sweeps must agree to the byte, and the sweep table must
+# actually attribute (a "top blamed" resource per load shape).
+cargo run --release -q -p hyperion-bench --bin report -- --util e15 > "$FAULTS_A"
+cargo run --release -q -p hyperion-bench --bin report -- --util e15 > "$FAULTS_B"
+diff -u "$FAULTS_A" "$FAULTS_B"
+grep -q "bottleneck attribution" "$FAULTS_A"
+cargo run --release -q -p hyperion-bench --bin report -- e15 > "$FAULTS_A"
+grep -q "top blamed" "$FAULTS_A"
+
+echo "==> observability smoke (report --util / --profile render)"
+# --util must be safe on a recorder that never enabled the plane, and
+# --profile must rank blocks for both reference eBPF programs.
+cargo run --release -q -p hyperion-bench --bin report -- --util e1 > "$FAULTS_A"
+grep -q "resource utilization" "$FAULTS_A"
+cargo run --release -q -p hyperion-bench --bin report -- --profile > "$FAULTS_A"
+grep -q "profile: fail2ban" "$FAULTS_A"
+grep -q "profile: pointer-chase" "$FAULTS_A"
+
 echo "==> report --json -> BENCH_report.json + bench gate"
 SNAPSHOT="$(mktemp)"
 trap 'rm -f "$SNAPSHOT" "$FAULTS_A" "$FAULTS_B"' EXIT
